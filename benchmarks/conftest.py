@@ -1,0 +1,67 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table (or ablation) of the paper using the
+``default`` experiment preset — a scaled-down configuration that preserves the
+comparative structure of the results (see DESIGN.md section 6).  The
+synthesized corpus is cached on disk under ``benchmarks/.corpus_cache`` so the
+per-table benches share one data-generation pass, and every regenerated table
+is also written to ``benchmarks/results/`` so the numbers survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentRunner,
+    comparison_table,
+    default,
+    format_rows,
+    smoke,
+)
+
+BENCH_DIR = Path(__file__).parent
+CACHE_DIR = BENCH_DIR / ".corpus_cache"
+RESULTS_DIR = BENCH_DIR / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a regenerated table to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def run_table_experiment(
+    model: str,
+    algorithms: Optional[Sequence[str]] = None,
+    preset_name: str = "default",
+) -> ExperimentResult:
+    """Run the table experiment for ``model`` under the given preset."""
+    config = default(model) if preset_name == "default" else smoke(model)
+    runner = ExperimentRunner(config, cache_dir=CACHE_DIR)
+    return runner.run(algorithms)
+
+
+def render_table(result: ExperimentResult, title: str) -> str:
+    """Format a regenerated table next to the paper's reported averages."""
+    measured: Dict[str, float] = {row.algorithm: row.average_auc for row in result.rows}
+    parts = [
+        format_rows(result.rows, title=title),
+        "",
+        "Average AUC, paper vs. this reproduction (synthetic substrate):",
+        comparison_table(result.config.model, measured),
+    ]
+    return "\n".join(parts)
+
+
+@pytest.fixture(scope="session")
+def bench_cache_dir() -> Path:
+    CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    return CACHE_DIR

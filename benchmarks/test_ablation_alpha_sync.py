@@ -1,0 +1,51 @@
+"""Ablation: the alpha parameter of alpha-portion sync.
+
+The paper evaluates alpha-portion sync at alpha = 0.5 (each client's own
+parameters get half the weight in its customized aggregate).  This ablation
+sweeps alpha on the reduced smoke corpus: alpha -> 0 recovers plain FedProx
+(fully shared model), alpha -> 1 approaches local-only training (each client
+mostly keeps its own parameters), and intermediate values trade generality
+for personalization.
+"""
+
+from dataclasses import replace
+
+from conftest import write_result
+
+from repro.experiments import ExperimentRunner, smoke
+from repro.fl import create_algorithm, evaluate_result
+
+ALPHAS = (0.1, 0.5, 0.9)
+
+
+def run_alpha_sweep():
+    base = smoke("flnet")
+    runner = ExperimentRunner(base)
+    clients = runner.federated_clients()
+    outcomes = {}
+    for alpha in ALPHAS:
+        fl = replace(base.fl, alpha=alpha)
+        training = create_algorithm("fedprox_alpha", clients, runner.model_factory(), fl).run()
+        evaluation = evaluate_result(training, clients)
+        outcomes[alpha] = evaluation.average_auc
+    return outcomes
+
+
+def test_ablation_alpha_sync(benchmark):
+    outcomes = benchmark.pedantic(run_alpha_sweep, rounds=1, iterations=1)
+
+    assert set(outcomes) == set(ALPHAS)
+    for auc in outcomes.values():
+        assert 0.0 <= auc <= 1.0
+
+    lines = [
+        "Ablation: alpha-portion sync personalization strength (FLNet, smoke corpus)",
+        "(alpha is the weight of a client's own parameters; the paper uses 0.5)",
+        "",
+        f"{'alpha':<8}{'avg AUC':>10}",
+    ]
+    for alpha, auc in sorted(outcomes.items()):
+        lines.append(f"{alpha:<8.1f}{auc:>10.3f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("ablation_alpha_sync", text)

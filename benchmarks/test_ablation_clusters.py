@@ -1,0 +1,50 @@
+"""Ablation: number of clusters in IFCA.
+
+The paper runs IFCA with C = 4 clusters over 9 clients drawn from four
+benchmark suites.  On the reduced smoke corpus (three clients, one per suite
+style) this ablation sweeps the cluster count: C = 1 collapses IFCA to plain
+FedProx-style training, while larger C lets dissimilar clients separate into
+their own models at the cost of less data per cluster.
+"""
+
+from dataclasses import replace
+
+from conftest import write_result
+
+from repro.experiments import ExperimentRunner, smoke
+from repro.fl import create_algorithm, evaluate_result
+
+CLUSTER_COUNTS = (1, 2, 3)
+
+
+def run_cluster_sweep():
+    base = smoke("flnet")
+    runner = ExperimentRunner(base)
+    clients = runner.federated_clients()
+    outcomes = {}
+    for count in CLUSTER_COUNTS:
+        fl = replace(base.fl, num_clusters=count)
+        training = create_algorithm("ifca", clients, runner.model_factory(), fl).run()
+        evaluation = evaluate_result(training, clients)
+        outcomes[count] = evaluation.average_auc
+    return outcomes
+
+
+def test_ablation_ifca_clusters(benchmark):
+    outcomes = benchmark.pedantic(run_cluster_sweep, rounds=1, iterations=1)
+
+    assert set(outcomes) == set(CLUSTER_COUNTS)
+    for auc in outcomes.values():
+        assert 0.0 <= auc <= 1.0
+
+    lines = [
+        "Ablation: IFCA cluster count (FLNet, smoke corpus, 3 clients)",
+        "(the paper uses C=4 over 9 clients from 4 suites)",
+        "",
+        f"{'clusters':<10}{'avg AUC':>10}",
+    ]
+    for count, auc in sorted(outcomes.items()):
+        lines.append(f"{count:<10d}{auc:>10.3f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("ablation_ifca_clusters", text)

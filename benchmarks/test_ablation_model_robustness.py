@@ -1,0 +1,45 @@
+"""Ablation: model robustness to federated parameter aggregation.
+
+Section 4.2 claims FLNet's small size and lack of batch normalization make it
+robust to the parameter fluctuation introduced by aggregation, while deeper
+batch-normalized models (RouteNet, PROS) degrade.  This ablation measures,
+for each of the three models on the reduced smoke corpus, centralized-training
+AUC vs. FedProx AUC and reports the degradation (centralized minus federated)
+— the quantity the paper's argument is about.
+"""
+
+from conftest import write_result
+
+from repro.experiments import ExperimentRunner, smoke
+
+
+def run_robustness_study():
+    results = {}
+    for model in ("flnet", "routenet", "pros"):
+        runner = ExperimentRunner(smoke(model))
+        outcome = runner.run(["centralized", "fedprox"])
+        central = outcome.average_auc("centralized")
+        federated = outcome.average_auc("fedprox")
+        results[model] = (central, federated, central - federated)
+    return results
+
+
+def test_ablation_model_robustness(benchmark):
+    results = benchmark.pedantic(run_robustness_study, rounds=1, iterations=1)
+
+    assert set(results) == {"flnet", "routenet", "pros"}
+    for central, federated, _ in results.values():
+        assert 0.0 <= central <= 1.0
+        assert 0.0 <= federated <= 1.0
+
+    lines = [
+        "Ablation: centralized vs FedProx AUC per model (smoke corpus)",
+        "(degradation = centralized - federated; the paper expects FLNet to degrade least)",
+        "",
+        f"{'Model':<12}{'centralized':>13}{'fedprox':>10}{'degradation':>13}",
+    ]
+    for model, (central, federated, degradation) in results.items():
+        lines.append(f"{model:<12}{central:>13.3f}{federated:>10.3f}{degradation:>13.3f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("ablation_model_robustness", text)

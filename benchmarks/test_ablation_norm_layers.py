@@ -1,0 +1,73 @@
+"""Ablation: is Batch Normalization what breaks RouteNet under FL?
+
+Section 4.2 of the paper attributes part of RouteNet's degradation under
+decentralized training to Batch Normalization: the running statistics that BN
+accumulates are corrupted by frequent parameter aggregation.  If that
+attribution is right, remedies that keep or remove those statistics should
+recover accuracy.  This ablation trains, on the reduced smoke corpus under
+FedProx, three configurations of the same architecture:
+
+* RouteNet with BatchNorm (the original),
+* RouteNet with BatchNorm but trained with FedBN (BN layers stay local), and
+* RouteNet-GN, where every BatchNorm is replaced by GroupNorm (no running
+  statistics at all),
+
+and reports the average AUC of each next to FLNet's (which has no
+normalization and is the paper's answer to the same problem).
+"""
+
+from dataclasses import replace
+
+from conftest import write_result
+
+from repro.experiments import ExperimentRunner, smoke
+from repro.fl import create_algorithm, evaluate_result
+
+
+def _config(model):
+    """The smoke preset with a slightly larger budget (deep nets need more steps)."""
+    base = smoke(model)
+    return replace(base, fl=replace(base.fl, rounds=3, local_steps=8))
+
+
+def run_norm_study():
+    outcomes = {}
+    # RouteNet with BatchNorm: plain FedProx and FedBN.
+    runner_bn = ExperimentRunner(_config("routenet"))
+    clients_bn = runner_bn.federated_clients()
+    for label, algorithm in (("routenet (BN) + fedprox", "fedprox"), ("routenet (BN) + fedbn", "fedbn")):
+        training = create_algorithm(algorithm, clients_bn, runner_bn.model_factory(), runner_bn.config.fl).run()
+        outcomes[label] = evaluate_result(training, clients_bn).average_auc
+
+    # RouteNet with GroupNorm under plain FedProx.
+    runner_gn = ExperimentRunner(_config("routenet_gn"))
+    clients_gn = runner_gn.federated_clients()
+    training = create_algorithm("fedprox", clients_gn, runner_gn.model_factory(), runner_gn.config.fl).run()
+    outcomes["routenet (GN) + fedprox"] = evaluate_result(training, clients_gn).average_auc
+
+    # FLNet reference (no normalization at all).
+    runner_fl = ExperimentRunner(_config("flnet"))
+    clients_fl = runner_fl.federated_clients()
+    training = create_algorithm("fedprox", clients_fl, runner_fl.model_factory(), runner_fl.config.fl).run()
+    outcomes["flnet (no norm) + fedprox"] = evaluate_result(training, clients_fl).average_auc
+    return outcomes
+
+
+def test_ablation_norm_layers(benchmark):
+    outcomes = benchmark.pedantic(run_norm_study, rounds=1, iterations=1)
+
+    assert len(outcomes) == 4
+    for auc in outcomes.values():
+        assert 0.0 <= auc <= 1.0
+
+    lines = [
+        "Ablation: normalization layers under decentralized training (smoke corpus, FedProx)",
+        "(the paper attributes RouteNet's degradation partly to BatchNorm's aggregated statistics)",
+        "",
+        f"{'Configuration':<30}{'avg AUC':>10}",
+    ]
+    for label, auc in outcomes.items():
+        lines.append(f"{label:<30}{auc:>10.3f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("ablation_norm_layers", text)

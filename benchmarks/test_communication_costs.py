@@ -1,0 +1,74 @@
+"""Communication cost of decentralized training, per estimator and algorithm.
+
+Federated training's practical footprint is the parameter traffic it
+generates.  This benchmark (no training involved) sizes each of the three
+estimators at the paper's configuration (9 clients, R = 50 rounds) and tables
+the total traffic of every algorithm in the registry, plus the savings that
+top-k sparsification and 8-bit quantization would realize on one FLNet
+update.
+"""
+
+from conftest import write_result
+
+from repro.fl import (
+    compression_error,
+    estimate_communication,
+    quantize_state,
+    state_bytes,
+    topk_sparsify,
+)
+from repro.models.registry import available_models, create_model
+
+NUM_CLIENTS = 9
+ROUNDS = 50
+CHANNELS = 6
+ALGORITHMS_TO_TABLE = ("fedavg", "fedprox", "fedprox_lg", "ifca", "fedprox_finetune", "fedbn")
+
+
+def run_costs():
+    per_model = {}
+    for name in available_models():
+        state = create_model(name, in_channels=CHANNELS, seed=0).state_dict()
+        rows = {}
+        for algorithm in ALGORITHMS_TO_TABLE:
+            report = estimate_communication(
+                algorithm, state, num_clients=NUM_CLIENTS, rounds=ROUNDS, global_fraction=0.8, num_clusters=4
+            )
+            rows[algorithm] = report.total_bytes
+        per_model[name] = (state_bytes(state), rows)
+
+    flnet_state = create_model("flnet", in_channels=CHANNELS, seed=0).state_dict()
+    compression = {
+        "top-10% sparsification": topk_sparsify(flnet_state, keep_fraction=0.10),
+        "8-bit quantization": quantize_state(flnet_state, num_bits=8),
+    }
+    compression_rows = {
+        label: (result.compression_ratio, compression_error(flnet_state, result.state))
+        for label, result in compression.items()
+    }
+    return per_model, compression_rows
+
+
+def test_communication_costs(benchmark):
+    per_model, compression_rows = benchmark.pedantic(run_costs, rounds=1, iterations=1)
+
+    assert set(per_model) == set(available_models())
+    for _, rows in per_model.values():
+        assert rows["fedbn"] <= rows["fedprox"]
+        assert rows["ifca"] >= rows["fedprox"]
+
+    lines = [
+        f"Communication cost ({NUM_CLIENTS} clients, {ROUNDS} rounds, float32 parameters)",
+        "",
+        f"{'Model':<10}{'state (MB)':>12}" + "".join(f"{name:>18}" for name in ALGORITHMS_TO_TABLE),
+    ]
+    for model, (size, rows) in per_model.items():
+        cells = "".join(f"{rows[name] / 1e6:>18.1f}" for name in ALGORITHMS_TO_TABLE)
+        lines.append(f"{model:<10}{size / 1e6:>12.2f}{cells}")
+    lines.append("")
+    lines.append("Update compression on one FLNet state:")
+    for label, (ratio, error) in compression_rows.items():
+        lines.append(f"  {label:<26}{ratio:>6.1f}x smaller, relative L2 error {error:.4f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("communication_costs", text)

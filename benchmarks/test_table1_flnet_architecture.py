@@ -1,0 +1,47 @@
+"""Table 1: FLNet model architecture configuration.
+
+The paper's Table 1 is the full specification of FLNet: two convolutions with
+9x9 kernels, 64 hidden filters, ReLU after the first layer, no activation
+after the second, and no batch normalization anywhere.  The bench
+instantiates the model, verifies the configuration matches the paper exactly,
+and times model construction plus one forward pass.
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.experiments import PAPER_TABLE1_FLNET_ARCHITECTURE
+from repro.models import FLNet
+
+CHANNELS = 7
+GRID = 32
+
+
+def build_and_forward():
+    model = FLNet(CHANNELS, seed=0)
+    output = model.predict(np.zeros((1, CHANNELS, GRID, GRID)))
+    return model, output
+
+
+def test_table1_flnet_architecture(benchmark):
+    model, output = benchmark.pedantic(build_and_forward, rounds=3, iterations=1)
+
+    table = model.architecture_table()
+    assert table == PAPER_TABLE1_FLNET_ARCHITECTURE
+    assert output.shape == (1, 1, GRID, GRID)
+    # The design constraints behind Table 1 (Section 4.2): no batch norm and
+    # far fewer parameters than the baseline estimators.
+    assert not any("running" in name for name, _ in model.named_buffers())
+
+    lines = ["Table 1: FLNet Model Architecture Configuration", ""]
+    lines.append(f"{'Layer':<14}{'Kernel size':<14}{'#Filters':<10}{'Activation'}")
+    for row in table:
+        lines.append(
+            f"{row['layer']:<14}{row['kernel_size']:<14}{row['filters']:<10}{row['activation']}"
+        )
+    lines.append("")
+    lines.append(f"Trainable parameters: {model.num_parameters()}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("table1_flnet_architecture", text)

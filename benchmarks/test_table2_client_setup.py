@@ -1,0 +1,54 @@
+"""Table 2: experiment data setup for each client.
+
+Regenerates the 9-client corpus (designs per suite, design-disjoint
+train/test split, placement sweeps) under the scaled-down ``default`` preset
+and prints the per-client design / placement counts next to the paper's
+Table 2.  The timing measures the full synthetic data-generation flow
+(netlist generation -> placement -> feature maps -> DRC labels).
+"""
+
+from conftest import CACHE_DIR, write_result
+
+from repro.data import PAPER_TOTAL_DESIGNS, PAPER_TOTAL_PLACEMENTS, table2_rows
+from repro.experiments import PAPER_TABLE2_SETUP, ExperimentRunner, default
+
+
+def build_corpus():
+    runner = ExperimentRunner(default("flnet"), cache_dir=CACHE_DIR)
+    return runner.client_data()
+
+
+def test_table2_client_setup(benchmark):
+    clients = benchmark.pedantic(build_corpus, rounds=1, iterations=1)
+
+    assert len(clients) == 9
+    rows = table2_rows(clients)
+    total_designs = sum(r["train_designs"] + r["test_designs"] for r in rows)
+    assert total_designs == PAPER_TOTAL_DESIGNS  # 74 designs, exactly as in the paper
+    for client, paper_row in zip(clients, PAPER_TABLE2_SETUP):
+        assert client.spec.train_designs == paper_row["train_designs"]
+        assert client.spec.test_designs == paper_row["test_designs"]
+        assert client.train.suites() == [client.spec.suite]
+        # Design-disjoint split and per-client privacy of the corpus.
+        assert set(client.train.design_names()).isdisjoint(client.test.design_names())
+
+    lines = [
+        "Table 2: Experiment Data Setup for Each Client",
+        "(placement counts are scaled by the default preset; paper counts in parentheses)",
+        "",
+        f"{'Client':<9}{'Suite':<10}{'Train designs':<15}{'Train places':<20}{'Test designs':<14}{'Test places'}",
+    ]
+    for row, paper_row in zip(rows, PAPER_TABLE2_SETUP):
+        lines.append(
+            f"{row['client']:<9}{row['suite']:<10}{row['train_designs']:<15}"
+            f"{str(row['train_placements']) + ' (' + str(paper_row['train_placements']) + ')':<20}"
+            f"{row['test_designs']:<14}"
+            f"{str(row['test_placements']) + ' (' + str(paper_row['test_placements']) + ')'}"
+        )
+    generated = sum(r["train_placements"] + r["test_placements"] for r in rows)
+    lines.append("")
+    lines.append(f"Total designs: {total_designs} (paper: {PAPER_TOTAL_DESIGNS})")
+    lines.append(f"Total placements: {generated} (paper: {PAPER_TOTAL_PLACEMENTS})")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("table2_client_setup", text)

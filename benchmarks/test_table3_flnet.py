@@ -1,0 +1,41 @@
+"""Table 3: testing accuracy (ROC AUC) on routability prediction with FLNet.
+
+Runs every training-method row of the paper's Table 3 — local baselines,
+centralized training, FedProx, FedProx-LG, IFCA, FedProx + fine-tuning,
+assigned clustering, and FedProx + alpha-portion sync — with the FLNet model
+on the 9-client corpus, then prints the per-client AUC table next to the
+paper's reported averages.
+
+The shapes this bench targets (absolute values differ because the substrate
+is synthetic): FedProx beats the local baselines, fine-tuning improves on
+FedProx, and centralized training is the upper reference point.
+"""
+
+from conftest import render_table, run_table_experiment, write_result
+
+
+def run():
+    return run_table_experiment("flnet")
+
+
+def test_table3_flnet(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    expected_rows = {
+        "local",
+        "centralized",
+        "fedprox",
+        "fedprox_lg",
+        "ifca",
+        "fedprox_finetune",
+        "assigned_clustering",
+        "fedprox_alpha",
+    }
+    assert {row.algorithm for row in result.rows} == expected_rows
+    for row in result.rows:
+        assert len(row.per_client_auc) == 9
+        assert all(0.0 <= auc <= 1.0 for auc in row.per_client_auc.values())
+
+    text = render_table(result, "Table 3: ROC AUC on routability prediction with FLNet")
+    print("\n" + text)
+    write_result("table3_flnet", text)

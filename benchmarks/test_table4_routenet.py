@@ -1,0 +1,27 @@
+"""Table 4: testing accuracy (ROC AUC) on routability prediction with RouteNet.
+
+Same training-method grid as Table 3 but with the RouteNet baseline
+estimator.  The paper's qualitative finding for this table: RouteNet is
+competitive (or better) under local / centralized training, but its depth and
+batch-normalization layers make it degrade under decentralized training,
+where only local fine-tuning recovers the accuracy.
+"""
+
+from conftest import render_table, run_table_experiment, write_result
+
+
+def run():
+    return run_table_experiment("routenet")
+
+
+def test_table4_routenet(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert len(result.rows) == 8
+    for row in result.rows:
+        assert len(row.per_client_auc) == 9
+        assert all(0.0 <= auc <= 1.0 for auc in row.per_client_auc.values())
+
+    text = render_table(result, "Table 4: ROC AUC on routability prediction with RouteNet")
+    print("\n" + text)
+    write_result("table4_routenet", text)

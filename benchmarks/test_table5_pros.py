@@ -1,0 +1,26 @@
+"""Table 5: testing accuracy (ROC AUC) on routability prediction with PROS.
+
+Same training-method grid as Tables 3-4 but with the PROS baseline estimator
+(dilated convolutions, refinement, sub-pixel upsampling, batch norm).  The
+paper's qualitative finding: PROS is the most complex of the three models and
+the most vulnerable to client heterogeneity under decentralized training.
+"""
+
+from conftest import render_table, run_table_experiment, write_result
+
+
+def run():
+    return run_table_experiment("pros")
+
+
+def test_table5_pros(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert len(result.rows) == 8
+    for row in result.rows:
+        assert len(row.per_client_auc) == 9
+        assert all(0.0 <= auc <= 1.0 for auc in row.per_client_auc.values())
+
+    text = render_table(result, "Table 5: ROC AUC on routability prediction with PROS")
+    print("\n" + text)
+    write_result("table5_pros", text)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Federated routability estimation across data-owning clients.
+
+This example reproduces the core scenario of the paper at a small scale:
+three design companies (clients), each owning designs from a different
+benchmark suite, collaboratively train one FLNet routability estimator with
+FedProx without ever sharing their layouts.  The script compares:
+
+* each client's locally trained model (the traditional setting),
+* the FedProx generalized model (privacy-preserving collaboration), and
+* centralized training on pooled data (the privacy-free upper bound).
+
+Run with:  python examples/federated_routability.py
+"""
+
+from __future__ import annotations
+
+from repro.data import CorpusConfig
+from repro.data.clients import ClientSpec, CorpusBuilder
+from repro.experiments import format_rows
+from repro.fl import (
+    Centralized,
+    FedProx,
+    FederatedClient,
+    FLConfig,
+    LocalOnly,
+    SeededModelFactory,
+    evaluate_result,
+)
+from repro.models import FLNet
+
+#: Three companies, one benchmark suite each (client heterogeneity).
+CLIENT_SPECS = (
+    ClientSpec(1, "itc99", train_designs=2, test_designs=1, paper_train_placements=12, paper_test_placements=6),
+    ClientSpec(2, "iscas89", train_designs=2, test_designs=1, paper_train_placements=12, paper_test_placements=6),
+    ClientSpec(3, "iwls05", train_designs=2, test_designs=1, paper_train_placements=12, paper_test_placements=6),
+)
+
+CORPUS = CorpusConfig(
+    grid_width=16,
+    grid_height=16,
+    placement_scale=0.5,
+    min_placements_per_design=3,
+    base_seed=11,
+)
+
+FL = FLConfig(
+    rounds=4,
+    local_steps=6,
+    finetune_steps=20,
+    learning_rate=2e-3,
+    batch_size=4,
+    proximal_mu=1e-4,
+)
+
+
+def main() -> None:
+    print("Synthesizing per-client data (each client = one benchmark suite)...")
+    builder = CorpusBuilder(CORPUS)
+    client_data = builder.build_all(CLIENT_SPECS)
+    for data in client_data:
+        print(
+            f"  client {data.client_id} ({data.spec.suite:>8}): "
+            f"{data.num_train_samples} train / {data.num_test_samples} test placements"
+        )
+
+    channels = len(CORPUS.features)
+    factory = SeededModelFactory(lambda seed: FLNet(channels, seed=seed), base_seed=0)
+    clients = [FederatedClient.from_client_data(data, factory, FL) for data in client_data]
+
+    rows = []
+    for name, algorithm_cls in (("local", LocalOnly), ("fedprox", FedProx), ("centralized", Centralized)):
+        print(f"Running {name} training...")
+        training = algorithm_cls(clients, factory, FL).run()
+        rows.append(evaluate_result(training, clients))
+
+    print()
+    print(format_rows(rows, title="Per-client ROC AUC (local vs FedProx vs centralized)"))
+    local, fedprox, central = (row.average_auc for row in rows)
+    print()
+    print(f"Average AUC — local: {local:.3f}, FedProx: {fedprox:.3f}, centralized: {central:.3f}")
+    print(
+        "FedProx lets the clients benefit from each other's data without sharing it; "
+        "centralized training is the reference upper bound that requires giving the data up."
+    )
+
+
+if __name__ == "__main__":
+    main()

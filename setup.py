@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that editable installs
+(`pip install -e .`) work in offline environments whose pip cannot set up an
+isolated PEP 517 build (no network access to fetch the build backend).
+"""
+
+from setuptools import setup
+
+setup()

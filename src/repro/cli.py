@@ -1,0 +1,234 @@
+"""Command-line interface.
+
+Installs as the ``repro`` console script and exposes the library's main
+entry points without writing any Python:
+
+``repro list-models``
+    The registered routability estimators and their parameter counts.
+``repro list-algorithms``
+    Every decentralized training algorithm in the registry.
+``repro generate-data``
+    Synthesize the 9-client corpus of Table 2 (or a reduced preset) and
+    print the per-client design / placement statistics.
+``repro route``
+    Generate one synthetic design, place it, run the capacity-aware global
+    router, and print placement / routing quality reports.
+``repro reproduce``
+    Re-run one of the paper's result tables (Table 3, 4, or 5) under a
+    preset and print the per-client ROC AUC rows next to the paper's values.
+``repro communication``
+    Print the analytic communication cost of every algorithm for a model.
+
+Every command accepts ``--help`` for its full set of options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.eda.benchmarks import generate_design, suite_names
+from repro.eda.global_router import GlobalRouterConfig, route_placement
+from repro.eda.placement import PlacementConfig, Placer
+from repro.eda.quality import placement_quality, routing_quality
+from repro.fl import ALGORITHMS, estimate_communication
+from repro.models.registry import available_models, create_model
+
+
+def _add_list_models(subparsers) -> None:
+    parser = subparsers.add_parser("list-models", help="list registered routability estimators")
+    parser.add_argument("--channels", type=int, default=6, help="input feature channels used for sizing")
+    parser.set_defaults(handler=_cmd_list_models)
+
+
+def _cmd_list_models(args) -> int:
+    print(f"{'Model':<12} {'Parameters':>12}")
+    for name in available_models():
+        model = create_model(name, in_channels=args.channels, seed=0)
+        count = sum(param.data.size for _, param in model.named_parameters())
+        print(f"{name:<12} {count:>12,d}")
+    return 0
+
+
+def _add_list_algorithms(subparsers) -> None:
+    parser = subparsers.add_parser("list-algorithms", help="list decentralized training algorithms")
+    parser.set_defaults(handler=_cmd_list_algorithms)
+
+
+def _cmd_list_algorithms(args) -> int:
+    print(f"{'Name':<22} {'Class':<22} Personalized result")
+    for name, cls in sorted(ALGORITHMS.items()):
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<22} {cls.__name__:<22} {doc}")
+    return 0
+
+
+def _add_generate_data(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "generate-data", help="synthesize the Table 2 corpus and print its statistics"
+    )
+    parser.add_argument("--preset", choices=("paper", "default", "smoke"), default="smoke")
+    parser.add_argument("--cache-dir", default=None, help="directory to cache the synthesized corpus")
+    parser.set_defaults(handler=_cmd_generate_data)
+
+
+def _cmd_generate_data(args) -> int:
+    from repro.data.clients import CorpusBuilder
+    from repro.experiments import preset
+
+    config = preset(args.preset)
+    builder = CorpusBuilder(config.corpus)
+    clients = builder.build_all(config.client_specs, args.cache_dir)
+    print(f"{'Client':<10} {'Suite':<10} {'Train designs':>14} {'Train places':>13} {'Test designs':>13} {'Test places':>12}")
+    for data in clients:
+        spec = data.spec
+        print(
+            f"client{spec.client_id:<4d} {spec.suite:<10} {spec.train_designs:>14d} "
+            f"{len(data.train):>13d} {spec.test_designs:>13d} {len(data.test):>12d}"
+        )
+    total_train = sum(len(data.train) for data in clients)
+    total_test = sum(len(data.test) for data in clients)
+    print(f"\nTotal placements: {total_train} train / {total_test} test")
+    return 0
+
+
+def _add_route(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "route", help="place and globally route one synthetic design, printing quality reports"
+    )
+    parser.add_argument("--suite", choices=suite_names(), default="itc99")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cells", type=int, default=None, help="override the design's cell count")
+    parser.add_argument("--grid", type=int, default=24, help="analysis grid size (bins per side)")
+    parser.add_argument("--utilization", type=float, default=0.72)
+    parser.add_argument("--max-ripup", type=int, default=4, help="negotiated rip-up iterations")
+    parser.set_defaults(handler=_cmd_route)
+
+
+def _cmd_route(args) -> int:
+    design = generate_design(args.suite, f"{args.suite}_cli_{args.seed}", seed=args.seed, cell_count=args.cells)
+    placement = Placer().place(
+        design,
+        PlacementConfig(
+            grid_width=args.grid, grid_height=args.grid, utilization=args.utilization, seed=args.seed
+        ),
+    )
+    place_report = placement_quality(placement)
+    print("Placement quality")
+    for key, value in place_report.to_dict().items():
+        print(f"  {key:<22} {value}")
+
+    routed = route_placement(placement, GlobalRouterConfig(max_ripup_iterations=args.max_ripup))
+    route_report = routing_quality(routed)
+    print("\nGlobal routing quality")
+    for key, value in route_report.to_dict().items():
+        print(f"  {key:<22} {value}")
+    return 0
+
+
+def _add_reproduce(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "reproduce", help="re-run one of the paper's result tables (Tables 3-5)"
+    )
+    parser.add_argument("--model", choices=available_models(), default="flnet")
+    parser.add_argument("--preset", choices=("paper", "default", "smoke"), default="smoke")
+    parser.add_argument(
+        "--algorithms",
+        nargs="*",
+        default=None,
+        help="subset of algorithms to run (default: the full table)",
+    )
+    parser.add_argument("--cache-dir", default=None, help="directory to cache the synthesized corpus")
+    parser.add_argument("--output", default=None, help="write the rendered table to this file")
+    parser.set_defaults(handler=_cmd_reproduce)
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.experiments import ExperimentRunner, comparison_table, format_rows, preset
+
+    config = preset(args.preset, model=args.model)
+    if args.algorithms:
+        unknown = [name for name in args.algorithms if name not in ALGORITHMS]
+        if unknown:
+            print(f"error: unknown algorithms {unknown}; available: {sorted(ALGORITHMS)}", file=sys.stderr)
+            return 2
+        config = config.with_algorithms(args.algorithms)
+    runner = ExperimentRunner(config, cache_dir=args.cache_dir)
+    result = runner.run()
+    title = f"ROC AUC on routability prediction with {args.model} ({args.preset} preset)"
+    text = format_rows(result.rows, title=title)
+    measured = {row.algorithm: row.average_auc for row in result.rows}
+    text += "\n\nAverage AUC, paper vs. this reproduction (synthetic substrate):\n"
+    text += comparison_table(args.model, measured)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\nwritten to {args.output}")
+    return 0
+
+
+def _add_communication(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "communication", help="analytic communication cost of every algorithm"
+    )
+    parser.add_argument("--model", choices=available_models(), default="flnet")
+    parser.add_argument("--channels", type=int, default=6)
+    parser.add_argument("--clients", type=int, default=9)
+    parser.add_argument("--rounds", type=int, default=50)
+    parser.set_defaults(handler=_cmd_communication)
+
+
+def _cmd_communication(args) -> int:
+    model = create_model(args.model, in_channels=args.channels, seed=0)
+    state = model.state_dict()
+    print(
+        f"Communication cost of {args.model} ({args.clients} clients, {args.rounds} rounds)\n"
+        f"{'Algorithm':<22} {'Uplink/round':>14} {'Downlink/round':>16} {'Total (MB)':>12}"
+    )
+    for name in sorted(ALGORITHMS):
+        if name == "dp_fedprox":
+            report = estimate_communication("fedprox", state, args.clients, args.rounds)
+            report = type(report)(
+                algorithm=name,
+                rounds=report.rounds,
+                num_clients=report.num_clients,
+                uplink_bytes_per_round=report.uplink_bytes_per_round,
+                downlink_bytes_per_round=report.downlink_bytes_per_round,
+            )
+        else:
+            report = estimate_communication(name, state, args.clients, args.rounds)
+        total_mb = report.total_bytes / 1e6
+        print(
+            f"{name:<22} {report.uplink_bytes_per_round:>14,d} "
+            f"{report.downlink_bytes_per_round:>16,d} {total_mb:>12.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Federated routability estimation (DAC 2022 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_list_models(subparsers)
+    _add_list_algorithms(subparsers)
+    _add_generate_data(subparsers)
+    _add_route(subparsers)
+    _add_reproduce(subparsers)
+    _add_communication(subparsers)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return int(args.handler(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Datasets, client assignment (Table 2), and batch loading."""
+
+from repro.data.clients import (
+    PAPER_TOTAL_DESIGNS,
+    PAPER_TOTAL_PLACEMENTS,
+    TABLE2_CLIENTS,
+    ClientData,
+    ClientSpec,
+    CorpusBuilder,
+    CorpusConfig,
+    build_table2_corpus,
+    table2_rows,
+)
+from repro.data.augmentation import (
+    D4_SYMMETRIES,
+    RandomAugmenter,
+    apply_symmetry,
+    augment_dataset,
+    augment_sample,
+    symmetry_name,
+)
+from repro.data.dataset import PlacementSample, RoutabilityDataset
+from repro.data.loader import DataLoader, infinite_batches
+
+__all__ = [
+    "PlacementSample",
+    "RoutabilityDataset",
+    "DataLoader",
+    "infinite_batches",
+    "D4_SYMMETRIES",
+    "apply_symmetry",
+    "symmetry_name",
+    "augment_sample",
+    "augment_dataset",
+    "RandomAugmenter",
+    "ClientSpec",
+    "ClientData",
+    "CorpusConfig",
+    "CorpusBuilder",
+    "TABLE2_CLIENTS",
+    "PAPER_TOTAL_DESIGNS",
+    "PAPER_TOTAL_PLACEMENTS",
+    "build_table2_corpus",
+    "table2_rows",
+]

@@ -1,0 +1,167 @@
+"""Geometric data augmentation for routability samples.
+
+Routability features and DRC-hotspot labels live on a regular grid over the
+die, and the physics is (approximately) equivariant under the symmetries of
+that grid: rotating or mirroring a placement rotates/mirrors its congestion
+and its violations with it.  Augmenting with the dihedral group D4 (the four
+rotations and four reflections of a square) is therefore the standard
+cheap way to stretch a small routability corpus — the paper's own corpus is
+limited by what each company owns, which is exactly the regime where
+augmentation helps local baselines and federated clients alike.
+
+Two interfaces are provided:
+
+* :func:`augment_dataset` materializes transformed copies of every sample
+  (deterministic, used when building a corpus), and
+* :class:`RandomAugmenter` applies a random symmetry per call (used inside a
+  training loop for on-the-fly augmentation).
+
+Both apply the *same* transform to the feature stack and the label so the
+pair stays consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import PlacementSample, RoutabilityDataset
+from repro.utils.rng import new_rng
+
+#: The eight symmetries of the square: (number of 90-degree rotations, flip).
+D4_SYMMETRIES: Tuple[Tuple[int, bool], ...] = (
+    (0, False),
+    (1, False),
+    (2, False),
+    (3, False),
+    (0, True),
+    (1, True),
+    (2, True),
+    (3, True),
+)
+
+#: The identity transform.
+IDENTITY: Tuple[int, bool] = (0, False)
+
+
+def apply_symmetry(array: np.ndarray, rotations: int, flip: bool) -> np.ndarray:
+    """Apply a D4 symmetry to the trailing two (spatial) axes of ``array``.
+
+    ``rotations`` counts 90-degree counter-clockwise rotations (0-3); ``flip``
+    mirrors along the last axis *before* rotating.  Works for both ``(H, W)``
+    labels and ``(C, H, W)`` feature stacks.
+    """
+    if array.ndim < 2:
+        raise ValueError(f"array must have at least 2 dimensions, got {array.ndim}")
+    rotations = int(rotations) % 4
+    result = np.asarray(array)
+    if flip:
+        result = np.flip(result, axis=-1)
+    if rotations:
+        result = np.rot90(result, k=rotations, axes=(-2, -1))
+    return np.ascontiguousarray(result)
+
+
+def symmetry_name(rotations: int, flip: bool) -> str:
+    """Human-readable name of a D4 element (used in sample provenance)."""
+    base = f"rot{(int(rotations) % 4) * 90}"
+    return f"{base}_flip" if flip else base
+
+
+def augment_sample(sample: PlacementSample, rotations: int, flip: bool) -> PlacementSample:
+    """A new sample with the symmetry applied consistently to features and label.
+
+    Non-square grids only admit 180-degree rotations; requesting a 90/270
+    rotation on a non-square sample raises rather than silently transposing
+    the aspect ratio.
+    """
+    height, width = sample.grid_shape
+    if rotations % 2 == 1 and height != width:
+        raise ValueError(
+            f"90-degree rotations require a square grid, got {height}x{width}"
+        )
+    return PlacementSample(
+        features=apply_symmetry(sample.features, rotations, flip),
+        label=apply_symmetry(sample.label, rotations, flip),
+        design_name=sample.design_name,
+        suite=sample.suite,
+        placement_index=sample.placement_index,
+    )
+
+
+def augment_dataset(
+    dataset: RoutabilityDataset,
+    symmetries: Sequence[Tuple[int, bool]] = D4_SYMMETRIES,
+    include_original: bool = False,
+    name: Optional[str] = None,
+) -> RoutabilityDataset:
+    """Materialize transformed copies of every sample in ``dataset``.
+
+    Parameters
+    ----------
+    symmetries:
+        The D4 elements to apply (defaults to all eight).  The identity is
+        skipped unless ``include_original`` is ``False`` and it is the only
+        way the original would appear.
+    include_original:
+        When ``True`` the untransformed samples are also copied into the
+        result even if the identity is not among ``symmetries``.
+    """
+    if not symmetries:
+        raise ValueError("at least one symmetry is required")
+    seen: List[Tuple[int, bool]] = []
+    for rotations, flip in symmetries:
+        element = (int(rotations) % 4, bool(flip))
+        if element not in seen:
+            seen.append(element)
+
+    result = RoutabilityDataset(name=name if name is not None else f"{dataset.name}/augmented")
+    for sample in dataset:
+        if include_original and IDENTITY not in seen:
+            result.add(augment_sample(sample, *IDENTITY))
+        for rotations, flip in seen:
+            result.add(augment_sample(sample, rotations, flip))
+    return result
+
+
+class RandomAugmenter:
+    """Applies a random D4 symmetry, for on-the-fly training augmentation."""
+
+    def __init__(
+        self,
+        symmetries: Sequence[Tuple[int, bool]] = D4_SYMMETRIES,
+        seed: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not symmetries:
+            raise ValueError("at least one symmetry is required")
+        self.symmetries: List[Tuple[int, bool]] = [(int(r) % 4, bool(f)) for r, f in symmetries]
+        self._rng = rng if rng is not None else new_rng(seed)
+
+    def __call__(self, sample: PlacementSample) -> PlacementSample:
+        index = int(self._rng.integers(0, len(self.symmetries)))
+        rotations, flip = self.symmetries[index]
+        return augment_sample(sample, rotations, flip)
+
+    def augment_batch(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply an independent random symmetry to every sample of a batch.
+
+        ``features`` is ``(N, C, H, W)``, ``labels`` is ``(N, H, W)`` or
+        ``(N, 1, H, W)``; the same transform is used for a sample's features
+        and label.
+        """
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels must have the same batch size")
+        out_features = np.empty_like(features)
+        out_labels = np.empty_like(labels)
+        for index in range(features.shape[0]):
+            choice = int(self._rng.integers(0, len(self.symmetries)))
+            rotations, flip = self.symmetries[choice]
+            out_features[index] = apply_symmetry(features[index], rotations, flip)
+            out_labels[index] = apply_symmetry(labels[index], rotations, flip)
+        return out_features, out_labels

@@ -1,0 +1,230 @@
+"""Dataset containers for routability samples.
+
+A sample is one placement solution: its feature tensor ``X in R^(C x H x W)``
+and its ground-truth DRC hotspot map ``Y in {0,1}^(H x W)``, plus provenance
+metadata (design name, benchmark suite, placement index) used for
+design-disjoint train/test splitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class PlacementSample:
+    """One (features, label) pair extracted from a placement solution."""
+
+    features: np.ndarray  # (C, H, W)
+    label: np.ndarray  # (H, W) binary
+    design_name: str
+    suite: str
+    placement_index: int
+
+    def __post_init__(self):
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.label = np.asarray(self.label, dtype=np.float64)
+        if self.features.ndim != 3:
+            raise ValueError(f"features must be (C, H, W), got shape {self.features.shape}")
+        if self.label.ndim != 2:
+            raise ValueError(f"label must be (H, W), got shape {self.label.shape}")
+        if self.features.shape[1:] != self.label.shape:
+            raise ValueError(
+                f"feature spatial shape {self.features.shape[1:]} does not match "
+                f"label shape {self.label.shape}"
+            )
+
+    @property
+    def num_channels(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        return self.label.shape
+
+    @property
+    def hotspot_fraction(self) -> float:
+        return float(self.label.mean())
+
+
+class RoutabilityDataset:
+    """An in-memory collection of :class:`PlacementSample`."""
+
+    def __init__(self, samples: Optional[Iterable[PlacementSample]] = None, name: str = "dataset"):
+        self.name = name
+        self._samples: List[PlacementSample] = list(samples) if samples is not None else []
+        self._validate_consistency()
+
+    def _validate_consistency(self) -> None:
+        if not self._samples:
+            return
+        reference = self._samples[0]
+        for sample in self._samples[1:]:
+            if sample.features.shape != reference.features.shape:
+                raise ValueError(
+                    f"inconsistent feature shapes in dataset {self.name!r}: "
+                    f"{sample.features.shape} vs {reference.features.shape}"
+                )
+
+    # -- collection protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __getitem__(self, index: int) -> PlacementSample:
+        return self._samples[index]
+
+    def __iter__(self) -> Iterator[PlacementSample]:
+        return iter(self._samples)
+
+    def add(self, sample: PlacementSample) -> None:
+        if self._samples and sample.features.shape != self._samples[0].features.shape:
+            raise ValueError("sample shape does not match the rest of the dataset")
+        self._samples.append(sample)
+
+    def extend(self, samples: Iterable[PlacementSample]) -> None:
+        for sample in samples:
+            self.add(sample)
+
+    # -- tensor views ---------------------------------------------------------
+    @property
+    def num_channels(self) -> int:
+        if not self._samples:
+            raise ValueError(f"dataset {self.name!r} is empty")
+        return self._samples[0].num_channels
+
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        if not self._samples:
+            raise ValueError(f"dataset {self.name!r} is empty")
+        return self._samples[0].grid_shape
+
+    def features_array(self) -> np.ndarray:
+        """All features stacked as ``(N, C, H, W)``."""
+        if not self._samples:
+            raise ValueError(f"dataset {self.name!r} is empty")
+        return np.stack([sample.features for sample in self._samples], axis=0)
+
+    def labels_array(self) -> np.ndarray:
+        """All labels stacked as ``(N, H, W)``."""
+        if not self._samples:
+            raise ValueError(f"dataset {self.name!r} is empty")
+        return np.stack([sample.label for sample in self._samples], axis=0)
+
+    def design_names(self) -> List[str]:
+        """Distinct design names present, in first-appearance order."""
+        return list(dict.fromkeys(sample.design_name for sample in self._samples))
+
+    def suites(self) -> List[str]:
+        """Distinct benchmark suites present, in first-appearance order."""
+        return list(dict.fromkeys(sample.suite for sample in self._samples))
+
+    def hotspot_fraction(self) -> float:
+        """Mean hotspot fraction over all samples (label imbalance indicator)."""
+        if not self._samples:
+            return 0.0
+        return float(np.mean([sample.hotspot_fraction for sample in self._samples]))
+
+    # -- splitting ------------------------------------------------------------
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "RoutabilityDataset":
+        """A new dataset containing only the given sample indices."""
+        picked = [self._samples[i] for i in indices]
+        return RoutabilityDataset(picked, name=name or f"{self.name}/subset")
+
+    def filter_designs(self, design_names: Sequence[str], name: Optional[str] = None) -> "RoutabilityDataset":
+        """A new dataset containing only samples of the given designs."""
+        wanted = set(design_names)
+        picked = [sample for sample in self._samples if sample.design_name in wanted]
+        return RoutabilityDataset(picked, name=name or f"{self.name}/designs")
+
+    def split_by_design(
+        self,
+        train_fraction: float,
+        rng: np.random.Generator,
+        name_prefix: Optional[str] = None,
+    ) -> Tuple["RoutabilityDataset", "RoutabilityDataset"]:
+        """Design-disjoint split: no design contributes to both sides.
+
+        Mirrors the paper's protocol where testing designs are completely
+        unseen during training.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        designs = self.design_names()
+        if len(designs) < 2:
+            raise ValueError("need at least two designs for a design-disjoint split")
+        shuffled = list(designs)
+        rng.shuffle(shuffled)
+        n_train = max(1, min(len(shuffled) - 1, int(round(train_fraction * len(shuffled)))))
+        train_designs = shuffled[:n_train]
+        test_designs = shuffled[n_train:]
+        prefix = name_prefix or self.name
+        return (
+            self.filter_designs(train_designs, name=f"{prefix}/train"),
+            self.filter_designs(test_designs, name=f"{prefix}/test"),
+        )
+
+    # -- persistence -------------------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Serialize the dataset to a ``.npz`` archive."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._samples:
+            raise ValueError(f"refusing to save empty dataset {self.name!r}")
+        np.savez_compressed(
+            path,
+            features=self.features_array(),
+            labels=self.labels_array(),
+            design_names=np.array([s.design_name for s in self._samples]),
+            suites=np.array([s.suite for s in self._samples]),
+            placement_indices=np.array([s.placement_index for s in self._samples]),
+            name=np.array(self.name),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RoutabilityDataset":
+        """Load a dataset previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no dataset found at {path}")
+        with np.load(path, allow_pickle=False) as archive:
+            features = archive["features"]
+            labels = archive["labels"]
+            design_names = archive["design_names"]
+            suites = archive["suites"]
+            placement_indices = archive["placement_indices"]
+            name = str(archive["name"])
+        samples = [
+            PlacementSample(
+                features=features[i],
+                label=labels[i],
+                design_name=str(design_names[i]),
+                suite=str(suites[i]),
+                placement_index=int(placement_indices[i]),
+            )
+            for i in range(features.shape[0])
+        ]
+        return cls(samples, name=name)
+
+    def summary(self) -> Dict[str, object]:
+        """Human-readable dataset summary used by reports and examples."""
+        return {
+            "name": self.name,
+            "samples": len(self),
+            "designs": len(self.design_names()),
+            "suites": self.suites(),
+            "channels": self.num_channels if self._samples else 0,
+            "grid": self.grid_shape if self._samples else (0, 0),
+            "hotspot_fraction": round(self.hotspot_fraction(), 4),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoutabilityDataset(name={self.name!r}, samples={len(self)})"

@@ -1,0 +1,69 @@
+"""Mini-batch iteration over routability datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import RoutabilityDataset
+from repro.utils.rng import new_rng
+from repro.utils.validation import check_positive
+
+
+class DataLoader:
+    """Iterates a dataset in mini-batches of ``(features, labels)`` arrays.
+
+    Features are returned as ``(B, C, H, W)`` and labels as ``(B, 1, H, W)``
+    so they can be compared directly against model outputs.
+    """
+
+    def __init__(
+        self,
+        dataset: RoutabilityDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        check_positive("batch_size", batch_size)
+        if len(dataset) == 0:
+            raise ValueError("cannot build a DataLoader over an empty dataset")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = rng if rng is not None else new_rng(0)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start : start + self.batch_size]
+            if self.drop_last and batch_indices.size < self.batch_size:
+                break
+            yield self._collate(batch_indices)
+
+    def _collate(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        features = np.stack([self.dataset[int(i)].features for i in indices], axis=0)
+        labels = np.stack([self.dataset[int(i)].label for i in indices], axis=0)
+        return features, labels[:, None, :, :]
+
+    def sample_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw one random batch (used for single-step training loops)."""
+        size = min(self.batch_size, len(self.dataset))
+        indices = self._rng.choice(len(self.dataset), size=size, replace=False)
+        return self._collate(indices)
+
+
+def infinite_batches(loader: DataLoader) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield batches forever, reshuffling at each epoch boundary."""
+    while True:
+        yield from loader

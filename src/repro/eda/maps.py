@@ -1,0 +1,216 @@
+"""Grid-map extraction from placements.
+
+All routability analysis in the paper happens on a ``w x h`` grid over the
+die.  This module rasterizes a :class:`~repro.eda.placement.Placement` into
+the per-bin maps that both the feature extractor and the DRC labeler consume:
+cell density, pin density, macro coverage, RUDY (and its horizontal /
+vertical split), and net fly-line crossings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.eda.placement import Placement
+
+
+def _clip_fraction(value: np.ndarray) -> np.ndarray:
+    return np.clip(value, 0.0, 1.0)
+
+
+def _rect_bin_overlap_multi(
+    placement: Placement,
+    x0: np.ndarray,
+    y0: np.ndarray,
+    x1: np.ndarray,
+    y1: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Accumulate weighted rectangle coverage onto the analysis grid.
+
+    Each rectangle ``i`` spreads ``weights[i]`` over the bins it overlaps,
+    proportionally to the overlap area divided by the rectangle area (so the
+    total contribution of a rectangle equals its weight).  ``weights`` may be
+    ``(n,)`` for a single output map or ``(n, k)`` to accumulate ``k`` maps in
+    one pass (used by RUDY, which needs combined / horizontal / vertical maps
+    of the same rectangles).
+
+    Returns ``(k, H, W)`` (``k == 1`` for 1-D weights).
+    """
+    grid_h, grid_w = placement.grid_shape
+    bin_w = placement.bin_width_um
+    bin_h = placement.bin_height_um
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim == 1:
+        weights = weights[:, None]
+    n_maps = weights.shape[1]
+    result = np.zeros((n_maps, grid_h, grid_w), dtype=np.float64)
+
+    col_edges = np.arange(grid_w + 1) * bin_w
+    row_edges = np.arange(grid_h + 1) * bin_h
+
+    for i in range(x0.size):
+        rect_w = max(x1[i] - x0[i], 1e-9)
+        rect_h = max(y1[i] - y0[i], 1e-9)
+        col_lo = int(np.clip(np.floor(x0[i] / bin_w), 0, grid_w - 1))
+        col_hi = int(np.clip(np.floor((x1[i] - 1e-9) / bin_w), 0, grid_w - 1))
+        row_lo = int(np.clip(np.floor(y0[i] / bin_h), 0, grid_h - 1))
+        row_hi = int(np.clip(np.floor((y1[i] - 1e-9) / bin_h), 0, grid_h - 1))
+        cols = np.arange(col_lo, col_hi + 1)
+        rows = np.arange(row_lo, row_hi + 1)
+        overlap_x = np.minimum(x1[i], col_edges[cols + 1]) - np.maximum(x0[i], col_edges[cols])
+        overlap_y = np.minimum(y1[i], row_edges[rows + 1]) - np.maximum(y0[i], row_edges[rows])
+        overlap_x = np.clip(overlap_x, 0.0, None)
+        overlap_y = np.clip(overlap_y, 0.0, None)
+        fractions = np.outer(overlap_y, overlap_x) / (rect_w * rect_h)
+        result[:, row_lo : row_hi + 1, col_lo : col_hi + 1] += weights[i][:, None, None] * fractions
+    return result
+
+
+def _rect_bin_overlap(
+    placement: Placement,
+    x0: np.ndarray,
+    y0: np.ndarray,
+    x1: np.ndarray,
+    y1: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Single-map variant of :func:`_rect_bin_overlap_multi`."""
+    return _rect_bin_overlap_multi(placement, x0, y0, x1, y1, weights)[0]
+
+
+def cell_density_map(placement: Placement, include_macros: bool = False) -> np.ndarray:
+    """Standard-cell area per bin, normalized by bin area (0 = empty, 1 = full)."""
+    mask = np.ones(placement.num_cells, dtype=bool) if include_macros else ~placement.is_macro
+    if not mask.any():
+        return np.zeros(placement.grid_shape, dtype=np.float64)
+    pos = placement.positions_um[mask]
+    size = placement.sizes_um[mask]
+    areas = size[:, 0] * size[:, 1]
+    density = _rect_bin_overlap(
+        placement, pos[:, 0], pos[:, 1], pos[:, 0] + size[:, 0], pos[:, 1] + size[:, 1], areas
+    )
+    bin_area = placement.bin_width_um * placement.bin_height_um
+    return density / bin_area
+
+
+def macro_map(placement: Placement) -> np.ndarray:
+    """Fraction of each bin covered by macros (acts as a routing blockage map)."""
+    mask = placement.is_macro
+    if not mask.any():
+        return np.zeros(placement.grid_shape, dtype=np.float64)
+    pos = placement.positions_um[mask]
+    size = placement.sizes_um[mask]
+    areas = size[:, 0] * size[:, 1]
+    coverage = _rect_bin_overlap(
+        placement, pos[:, 0], pos[:, 1], pos[:, 0] + size[:, 0], pos[:, 1] + size[:, 1], areas
+    )
+    bin_area = placement.bin_width_um * placement.bin_height_um
+    return _clip_fraction(coverage / bin_area)
+
+
+def pin_density_map(placement: Placement) -> np.ndarray:
+    """Number of net pins per bin (pins are located at their cell's center)."""
+    grid_h, grid_w = placement.grid_shape
+    counts = np.zeros((grid_h, grid_w), dtype=np.float64)
+    pin_counts = placement.design.netlist.pin_counts_per_cell()
+    centers = placement.centers_um()
+    bin_w = placement.bin_width_um
+    bin_h = placement.bin_height_um
+    for name, count in pin_counts.items():
+        if count == 0:
+            continue
+        index = placement.cell_index(name)
+        col = int(np.clip(centers[index, 0] // bin_w, 0, grid_w - 1))
+        row = int(np.clip(centers[index, 1] // bin_h, 0, grid_h - 1))
+        counts[row, col] += count
+    return counts
+
+
+def net_bounding_boxes(placement: Placement) -> Tuple[np.ndarray, List[str]]:
+    """Bounding boxes (x0, y0, x1, y1) of every net with at least two pins."""
+    centers = placement.centers_um()
+    boxes = []
+    names = []
+    for net in placement.design.netlist.iter_nets():
+        cell_names = net.cell_names()
+        if len(cell_names) < 2:
+            continue
+        indices = [placement.cell_index(name) for name in cell_names]
+        points = centers[indices]
+        x0, y0 = points.min(axis=0)
+        x1, y1 = points.max(axis=0)
+        boxes.append((x0, y0, x1, y1))
+        names.append(net.name)
+    if not boxes:
+        return np.zeros((0, 4), dtype=np.float64), []
+    return np.asarray(boxes, dtype=np.float64), names
+
+
+def rudy_maps(placement: Placement) -> Dict[str, np.ndarray]:
+    """RUDY wire-density maps.
+
+    RUDY (Rectangular Uniform wire DensitY) spreads each net's estimated
+    wirelength uniformly over its bounding box.  Returns the combined map and
+    the horizontal / vertical splits used by the congestion model.
+    """
+    boxes, _ = net_bounding_boxes(placement)
+    grid_h, grid_w = placement.grid_shape
+    zero = np.zeros((grid_h, grid_w), dtype=np.float64)
+    if boxes.shape[0] == 0:
+        return {"rudy": zero, "rudy_horizontal": zero.copy(), "rudy_vertical": zero.copy()}
+
+    x0, y0, x1, y1 = boxes[:, 0], boxes[:, 1], boxes[:, 2], boxes[:, 3]
+    # Degenerate (single-bin) boxes are widened to one bin so they still
+    # contribute local demand.
+    min_w = placement.bin_width_um
+    min_h = placement.bin_height_um
+    widths = np.maximum(x1 - x0, min_w)
+    heights = np.maximum(y1 - y0, min_h)
+
+    # The RUDY demand density of a net over its bounding box is
+    # (w + h) / (w * h); the overlap accumulator spreads a total weight of
+    # density * area = (w + h) over the box, so passing (w + h) as the weight
+    # and dividing by bin area afterwards yields the per-bin demand density.
+    weights = np.stack([widths + heights, widths, heights], axis=1)
+    combined, horizontal, vertical = _rect_bin_overlap_multi(
+        placement, x0, y0, x0 + widths, y0 + heights, weights
+    )
+    bin_area = placement.bin_width_um * placement.bin_height_um
+    return {
+        "rudy": combined / bin_area,
+        "rudy_horizontal": horizontal / bin_area,
+        "rudy_vertical": vertical / bin_area,
+    }
+
+
+def flyline_map(placement: Placement) -> np.ndarray:
+    """Number of net bounding boxes covering each bin (fly-line crossing count)."""
+    boxes, _ = net_bounding_boxes(placement)
+    grid_h, grid_w = placement.grid_shape
+    counts = np.zeros((grid_h, grid_w), dtype=np.float64)
+    if boxes.shape[0] == 0:
+        return counts
+    bin_w = placement.bin_width_um
+    bin_h = placement.bin_height_um
+    for x0, y0, x1, y1 in boxes:
+        col_lo = int(np.clip(x0 // bin_w, 0, grid_w - 1))
+        col_hi = int(np.clip(x1 // bin_w, 0, grid_w - 1))
+        row_lo = int(np.clip(y0 // bin_h, 0, grid_h - 1))
+        row_hi = int(np.clip(y1 // bin_h, 0, grid_h - 1))
+        counts[row_lo : row_hi + 1, col_lo : col_hi + 1] += 1.0
+    return counts
+
+
+def all_maps(placement: Placement) -> Dict[str, np.ndarray]:
+    """Convenience bundle of every analysis map for one placement."""
+    maps = {
+        "cell_density": cell_density_map(placement),
+        "macro": macro_map(placement),
+        "pin_density": pin_density_map(placement),
+        "flylines": flyline_map(placement),
+    }
+    maps.update(rudy_maps(placement))
+    return maps

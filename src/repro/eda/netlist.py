@@ -1,0 +1,241 @@
+"""Netlist data model: cells, pins, nets, and the netlist container.
+
+The model is deliberately small — the synthetic flow only needs connectivity,
+cell geometry, and a macro flag — but it is a real netlist: every net refers
+to concrete pins on concrete cells, the container validates referential
+integrity, and a connectivity graph can be exported to ``networkx`` for
+cluster analysis and placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class Cell:
+    """A placeable instance (standard cell or macro).
+
+    Attributes
+    ----------
+    name:
+        Unique instance name within the netlist.
+    width_sites / height_rows:
+        Footprint in placement sites horizontally and in rows vertically.
+        Standard cells have ``height_rows == 1``; macros are larger in both
+        dimensions.
+    is_macro:
+        Whether the instance is a macro (placed first, acts as a routing
+        blockage for the congestion model).
+    is_sequential:
+        Whether the instance is a flip-flop/latch; sequential cells anchor
+        clusters during netlist generation.
+    cluster:
+        Logical-cluster index assigned by the generator, used by the placer
+        to keep tightly connected cells together.
+    """
+
+    name: str
+    width_sites: int = 1
+    height_rows: int = 1
+    is_macro: bool = False
+    is_sequential: bool = False
+    cluster: int = 0
+
+    def __post_init__(self):
+        check_positive("width_sites", self.width_sites)
+        check_positive("height_rows", self.height_rows)
+
+    @property
+    def area_sites(self) -> int:
+        """Footprint area in site units."""
+        return self.width_sites * self.height_rows
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A pin: a (cell, pin-name) pair with a direction."""
+
+    cell_name: str
+    pin_name: str
+    direction: str = "input"
+
+    def __post_init__(self):
+        if self.direction not in ("input", "output"):
+            raise ValueError(f"pin direction must be input/output, got {self.direction!r}")
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.cell_name}/{self.pin_name}"
+
+
+@dataclass
+class Net:
+    """A net connecting one driver pin to one or more sink pins."""
+
+    name: str
+    pins: List[Pin] = field(default_factory=list)
+
+    @property
+    def driver(self) -> Optional[Pin]:
+        for pin in self.pins:
+            if pin.direction == "output":
+                return pin
+        return None
+
+    @property
+    def sinks(self) -> List[Pin]:
+        return [pin for pin in self.pins if pin.direction == "input"]
+
+    @property
+    def degree(self) -> int:
+        return len(self.pins)
+
+    def cell_names(self) -> List[str]:
+        """Names of the distinct cells touched by this net."""
+        seen: List[str] = []
+        for pin in self.pins:
+            if pin.cell_name not in seen:
+                seen.append(pin.cell_name)
+        return seen
+
+
+class Netlist:
+    """A container of cells and nets with referential-integrity checks."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._cells: Dict[str, Cell] = {}
+        self._nets: Dict[str, Net] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_cell(self, cell: Cell) -> Cell:
+        if cell.name in self._cells:
+            raise ValueError(f"duplicate cell name {cell.name!r} in netlist {self.name!r}")
+        self._cells[cell.name] = cell
+        return cell
+
+    def add_net(self, net: Net) -> Net:
+        if net.name in self._nets:
+            raise ValueError(f"duplicate net name {net.name!r} in netlist {self.name!r}")
+        for pin in net.pins:
+            if pin.cell_name not in self._cells:
+                raise ValueError(
+                    f"net {net.name!r} references unknown cell {pin.cell_name!r}"
+                )
+        self._nets[net.name] = net
+        return net
+
+    # -- access ----------------------------------------------------------------
+    @property
+    def cells(self) -> Dict[str, Cell]:
+        return self._cells
+
+    @property
+    def nets(self) -> Dict[str, Net]:
+        return self._nets
+
+    def cell(self, name: str) -> Cell:
+        return self._cells[name]
+
+    def net(self, name: str) -> Net:
+        return self._nets[name]
+
+    def iter_cells(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    def iter_nets(self) -> Iterator[Net]:
+        return iter(self._nets.values())
+
+    # -- statistics --------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._nets)
+
+    @property
+    def num_macros(self) -> int:
+        return sum(1 for cell in self._cells.values() if cell.is_macro)
+
+    @property
+    def num_pins(self) -> int:
+        return sum(net.degree for net in self._nets.values())
+
+    def total_cell_area_sites(self) -> int:
+        """Sum of cell footprints in site units."""
+        return sum(cell.area_sites for cell in self._cells.values())
+
+    def average_net_degree(self) -> float:
+        if not self._nets:
+            return 0.0
+        return self.num_pins / self.num_nets
+
+    def pin_counts_per_cell(self) -> Dict[str, int]:
+        """Number of net pins landing on each cell."""
+        counts = {name: 0 for name in self._cells}
+        for net in self._nets.values():
+            for pin in net.pins:
+                counts[pin.cell_name] += 1
+        return counts
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the netlist violates basic structural rules."""
+        for net in self._nets.values():
+            if net.degree < 2:
+                raise ValueError(f"net {net.name!r} has fewer than 2 pins")
+            if net.driver is None:
+                raise ValueError(f"net {net.name!r} has no driver pin")
+        isolated = [name for name, count in self.pin_counts_per_cell().items() if count == 0]
+        if len(isolated) > max(2, self.num_cells // 10):
+            raise ValueError(
+                f"netlist {self.name!r} has {len(isolated)} unconnected cells; "
+                "generation likely went wrong"
+            )
+
+    # -- graph export ---------------------------------------------------------------
+    def connectivity_graph(self) -> nx.Graph:
+        """Cell-level connectivity graph (clique model per net, weighted)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._cells)
+        for net in self._nets.values():
+            members = net.cell_names()
+            if len(members) < 2:
+                continue
+            weight = 2.0 / len(members)
+            for index, left in enumerate(members):
+                for right in members[index + 1 :]:
+                    if graph.has_edge(left, right):
+                        graph[left][right]["weight"] += weight
+                    else:
+                        graph.add_edge(left, right, weight=weight)
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Netlist(name={self.name!r}, cells={self.num_cells}, nets={self.num_nets}, "
+            f"macros={self.num_macros})"
+        )
+
+
+def merge_statistics(netlists: Iterable[Netlist]) -> Dict[str, float]:
+    """Aggregate summary statistics over several netlists (used in reports)."""
+    netlists = list(netlists)
+    if not netlists:
+        return {"designs": 0, "cells": 0, "nets": 0, "macros": 0, "avg_net_degree": 0.0}
+    total_pins = sum(n.num_pins for n in netlists)
+    total_nets = sum(n.num_nets for n in netlists)
+    return {
+        "designs": len(netlists),
+        "cells": sum(n.num_cells for n in netlists),
+        "nets": total_nets,
+        "macros": sum(n.num_macros for n in netlists),
+        "avg_net_degree": total_pins / total_nets if total_nets else 0.0,
+    }

@@ -1,0 +1,119 @@
+"""Probabilistic global-routing congestion model.
+
+The congestion model converts the RUDY wire-demand maps into per-direction
+congestion ratios by comparing demand against the routing capacity the
+technology's metal stack provides over each bin, accounting for capacity lost
+to macros (routing blockages) and to pin access.  The result is what a fast
+global router's congestion report would look like, which is all the DRC
+labeler and the learning problem need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.eda import maps as map_ext
+from repro.eda.placement import Placement
+from repro.eda.technology import Technology
+
+
+@dataclass(frozen=True)
+class CongestionModelConfig:
+    """Tuning constants of the congestion estimator.
+
+    Attributes
+    ----------
+    demand_scale:
+        Converts RUDY density (um of wire per um^2) into track demand.
+    macro_blockage_factor:
+        Fraction of routing capacity removed where macros sit (most layers
+        are blocked over a macro).
+    pin_access_cost:
+        Tracks consumed per pin in a bin (models local pin-access congestion).
+    max_congestion_ratio:
+        Upper clamp on the demand/capacity ratio.  Bins fully covered by
+        macros have almost no capacity and would otherwise report physically
+        meaningless ratios in the tens of thousands; real global routers
+        saturate their overflow reports the same way.
+    """
+
+    demand_scale: float = 1.0
+    macro_blockage_factor: float = 0.85
+    pin_access_cost: float = 0.08
+    max_congestion_ratio: float = 8.0
+
+    def __post_init__(self):
+        if self.demand_scale <= 0:
+            raise ValueError("demand_scale must be positive")
+        if not 0.0 <= self.macro_blockage_factor <= 1.0:
+            raise ValueError("macro_blockage_factor must be in [0, 1]")
+        if self.pin_access_cost < 0:
+            raise ValueError("pin_access_cost must be non-negative")
+        if self.max_congestion_ratio <= 1.0:
+            raise ValueError("max_congestion_ratio must be greater than 1")
+
+
+class CongestionEstimator:
+    """Computes congestion-ratio and overflow maps for a placement."""
+
+    def __init__(self, config: Optional[CongestionModelConfig] = None):
+        self.config = config if config is not None else CongestionModelConfig()
+
+    def estimate(
+        self,
+        placement: Placement,
+        precomputed_maps: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Return congestion maps for ``placement``.
+
+        Returns a dict with keys ``congestion_horizontal``,
+        ``congestion_vertical``, ``congestion`` (max of the two), and
+        ``overflow`` (how far demand exceeds capacity, clipped at zero).
+        ``precomputed_maps`` may carry the output of
+        :func:`repro.eda.maps.all_maps` to avoid recomputation.
+        """
+        analysis = precomputed_maps if precomputed_maps is not None else map_ext.all_maps(placement)
+        technology: Technology = placement.technology
+        cfg = self.config
+
+        bin_w = placement.bin_width_um
+        bin_h = placement.bin_height_um
+        capacity_h = technology.horizontal_capacity(bin_h)
+        capacity_v = technology.vertical_capacity(bin_w)
+
+        macro = analysis["macro"]
+        pin_density = analysis["pin_density"]
+
+        available_h = capacity_h * (1.0 - cfg.macro_blockage_factor * macro)
+        available_v = capacity_v * (1.0 - cfg.macro_blockage_factor * macro)
+        pin_penalty = cfg.pin_access_cost * pin_density
+        available_h = np.maximum(available_h - pin_penalty, 1e-6)
+        available_v = np.maximum(available_v - pin_penalty, 1e-6)
+
+        # RUDY density (um / um^2) x bin span (um) = wire crossings demanded.
+        demand_h = cfg.demand_scale * analysis["rudy_horizontal"] * bin_h
+        demand_v = cfg.demand_scale * analysis["rudy_vertical"] * bin_w
+
+        congestion_h = np.minimum(demand_h / available_h, cfg.max_congestion_ratio)
+        congestion_v = np.minimum(demand_v / available_v, cfg.max_congestion_ratio)
+        congestion = np.maximum(congestion_h, congestion_v)
+        overflow = np.maximum(congestion - 1.0, 0.0)
+
+        return {
+            "congestion_horizontal": congestion_h,
+            "congestion_vertical": congestion_v,
+            "congestion": congestion,
+            "overflow": overflow,
+        }
+
+
+def estimate_congestion(
+    placement: Placement,
+    config: Optional[CongestionModelConfig] = None,
+    precomputed_maps: Optional[Dict[str, np.ndarray]] = None,
+) -> Dict[str, np.ndarray]:
+    """Convenience wrapper around :class:`CongestionEstimator`."""
+    return CongestionEstimator(config).estimate(placement, precomputed_maps)

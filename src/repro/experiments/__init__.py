@@ -1,0 +1,65 @@
+"""Experiment configurations, runner, and table formatting."""
+
+from repro.experiments.config import (
+    PRESETS,
+    TABLE_ALGORITHMS,
+    ExperimentConfig,
+    default,
+    paper,
+    preset,
+    smoke,
+)
+from repro.experiments.report import (
+    RESULT_DESCRIPTIONS,
+    comparison_markdown,
+    load_result_texts,
+    results_report,
+    write_results_report,
+)
+from repro.experiments.runner import (
+    AlgorithmOutcome,
+    ExperimentResult,
+    ExperimentRunner,
+    run_experiment,
+)
+from repro.experiments.tables import (
+    PAPER_TABLE1_FLNET_ARCHITECTURE,
+    PAPER_TABLE2_SETUP,
+    PAPER_TABLE3_FLNET,
+    PAPER_TABLE4_ROUTENET,
+    PAPER_TABLE5_PROS,
+    PAPER_TABLES,
+    ROW_DISPLAY_NAMES,
+    comparison_table,
+    format_rows,
+    paper_average,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "TABLE_ALGORITHMS",
+    "PRESETS",
+    "paper",
+    "default",
+    "smoke",
+    "preset",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "AlgorithmOutcome",
+    "run_experiment",
+    "ROW_DISPLAY_NAMES",
+    "PAPER_TABLES",
+    "PAPER_TABLE1_FLNET_ARCHITECTURE",
+    "PAPER_TABLE2_SETUP",
+    "PAPER_TABLE3_FLNET",
+    "PAPER_TABLE4_ROUTENET",
+    "PAPER_TABLE5_PROS",
+    "paper_average",
+    "format_rows",
+    "comparison_table",
+    "RESULT_DESCRIPTIONS",
+    "load_result_texts",
+    "comparison_markdown",
+    "results_report",
+    "write_results_report",
+]

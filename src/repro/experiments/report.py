@@ -1,0 +1,112 @@
+"""Reporting: turn experiment results and bench outputs into markdown.
+
+The benchmark harness writes every regenerated table to
+``benchmarks/results/``; this module assembles those text artifacts — and,
+when available, live :class:`~repro.experiments.runner.ExperimentResult`
+objects — into a single markdown report of the kind EXPERIMENTS.md is built
+from, so the paper-vs-measured summary can be refreshed with one call after a
+benchmark run instead of by hand.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import PAPER_TABLES, ROW_DISPLAY_NAMES, paper_average
+
+PathLike = Union[str, Path]
+
+#: Result-file stem -> the paper artifact (or ablation) it documents.
+RESULT_DESCRIPTIONS: Dict[str, str] = {
+    "table1_flnet_architecture": "Table 1 — FLNet architecture configuration",
+    "table2_client_setup": "Table 2 — experiment data setup for each client",
+    "table3_flnet": "Table 3 — ROC AUC with FLNet",
+    "table4_routenet": "Table 4 — ROC AUC with RouteNet",
+    "table5_pros": "Table 5 — ROC AUC with PROS",
+    "ablation_fedprox_mu": "Ablation (Sec. 4.1) — FedAvg vs FedProx proximal strength",
+    "ablation_model_robustness": "Ablation (Sec. 4.2) — robustness to parameter aggregation",
+    "ablation_kernel_size": "Ablation (Sec. 4.2 / Table 1) — FLNet kernel size",
+    "ablation_alpha_sync": "Ablation (Sec. 4.3) — alpha-portion sync strength",
+    "ablation_ifca_clusters": "Ablation (Sec. 4.3) — IFCA cluster count",
+    "ablation_heterogeneity": "Ablation (Sec. 4.1) — IID vs non-IID clients",
+    "ablation_privacy": "Extension — differential-privacy noise vs accuracy",
+    "communication_costs": "Extension — communication cost per algorithm",
+    "global_router": "Substrate validation — global router",
+}
+
+
+def load_result_texts(results_dir: PathLike) -> Dict[str, str]:
+    """Read every ``*.txt`` artifact under ``results_dir`` keyed by stem."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"results directory {results_dir} does not exist")
+    texts: Dict[str, str] = {}
+    for path in sorted(results_dir.glob("*.txt")):
+        texts[path.stem] = path.read_text(encoding="utf-8").rstrip("\n")
+    return texts
+
+
+def comparison_markdown(model: str, result: ExperimentResult, digits: int = 3) -> str:
+    """A markdown paper-vs-measured table for one table experiment.
+
+    ``model`` selects the paper table (``flnet`` -> Table 3, ``routenet`` ->
+    Table 4, ``pros`` -> Table 5); rows of ``result`` whose algorithm does not
+    appear in the paper's table (e.g. extension algorithms) are listed with an
+    em-dash in the paper column.
+    """
+    if model.lower() not in PAPER_TABLES:
+        raise ValueError(f"no paper table for model {model!r}; expected one of {sorted(PAPER_TABLES)}")
+    lines = ["| Method | Paper avg | Measured avg |", "|---|---|---|"]
+    paper_table = PAPER_TABLES[model.lower()]
+    for row in result.rows:
+        display = ROW_DISPLAY_NAMES.get(row.algorithm, row.algorithm)
+        if row.algorithm in paper_table:
+            paper_value = f"{paper_average(model, row.algorithm):.2f}"
+        else:
+            paper_value = "—"
+        lines.append(f"| {display} | {paper_value} | {row.average_auc:.{digits}f} |")
+    return "\n".join(lines)
+
+
+def results_report(
+    results_dir: PathLike,
+    title: str = "Regenerated evaluation artifacts",
+    descriptions: Optional[Mapping[str, str]] = None,
+) -> str:
+    """A markdown report embedding every bench artifact under ``results_dir``.
+
+    Each artifact becomes a section headed by its paper-artifact description
+    (falling back to the file stem for unknown files) with the bench's text
+    output in a fenced code block.
+    """
+    descriptions = dict(RESULT_DESCRIPTIONS if descriptions is None else descriptions)
+    texts = load_result_texts(results_dir)
+    lines: List[str] = [f"# {title}", ""]
+    if not texts:
+        lines.append("_No benchmark results found — run `pytest benchmarks/ --benchmark-only` first._")
+        return "\n".join(lines)
+
+    known = [stem for stem in descriptions if stem in texts]
+    unknown = [stem for stem in sorted(texts) if stem not in descriptions]
+    for stem in known + unknown:
+        heading = descriptions.get(stem, stem)
+        lines.append(f"## {heading}")
+        lines.append("")
+        lines.append("```text")
+        lines.append(texts[stem])
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def write_results_report(
+    results_dir: PathLike,
+    output_path: PathLike,
+    title: str = "Regenerated evaluation artifacts",
+) -> Path:
+    """Render :func:`results_report` and write it to ``output_path``."""
+    output_path = Path(output_path)
+    output_path.write_text(results_report(results_dir, title=title), encoding="utf-8")
+    return output_path

@@ -1,0 +1,137 @@
+"""Experiment runner: from a configuration to the rows of a results table."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.data.clients import ClientData, CorpusBuilder
+from repro.fl import (
+    EvaluationRow,
+    FederatedClient,
+    SeededModelFactory,
+    TrainingResult,
+    create_algorithm,
+    evaluate_result,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.models.registry import create_model
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class AlgorithmOutcome:
+    """Everything recorded about one algorithm run inside an experiment."""
+
+    algorithm: str
+    evaluation: EvaluationRow
+    training: TrainingResult
+    runtime_seconds: float
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment (one table of the paper)."""
+
+    config: ExperimentConfig
+    outcomes: List[AlgorithmOutcome] = field(default_factory=list)
+
+    @property
+    def rows(self) -> List[EvaluationRow]:
+        return [outcome.evaluation for outcome in self.outcomes]
+
+    def row(self, algorithm: str) -> EvaluationRow:
+        for outcome in self.outcomes:
+            if outcome.algorithm == algorithm:
+                return outcome.evaluation
+        raise KeyError(f"no outcome recorded for algorithm {algorithm!r}")
+
+    def average_auc(self, algorithm: str) -> float:
+        return self.row(algorithm).average_auc
+
+    def as_table(self) -> List[Dict[str, object]]:
+        """Printable list of row dictionaries (method, per-client AUC, average)."""
+        table = []
+        for outcome in self.outcomes:
+            entry: Dict[str, object] = {"method": outcome.algorithm}
+            entry.update({k: round(v, 4) for k, v in outcome.evaluation.as_dict().items()})
+            entry["runtime_s"] = round(outcome.runtime_seconds, 2)
+            table.append(entry)
+        return table
+
+
+class ExperimentRunner:
+    """Builds the corpus, wires up clients, and runs every requested algorithm."""
+
+    def __init__(self, config: ExperimentConfig, cache_dir: Optional[PathLike] = None):
+        self.config = config
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._client_data: Optional[List[ClientData]] = None
+
+    # -- corpus / clients ------------------------------------------------------
+    def client_data(self) -> List[ClientData]:
+        """Synthesize (or load) the per-client datasets."""
+        if self._client_data is None:
+            builder = CorpusBuilder(self.config.corpus)
+            self._client_data = builder.build_all(self.config.client_specs, self.cache_dir)
+        return self._client_data
+
+    def num_feature_channels(self) -> int:
+        return len(self.config.corpus.features)
+
+    def model_factory(self) -> SeededModelFactory:
+        """A fresh, deterministic model factory for one algorithm run."""
+        channels = self.num_feature_channels()
+        kwargs = dict(self.config.model_kwargs)
+
+        def build(seed: int):
+            return create_model(self.config.model, channels, seed=seed, **kwargs)
+
+        return SeededModelFactory(build, base_seed=self.config.seed)
+
+    def federated_clients(self) -> List[FederatedClient]:
+        """Wrap every client's data into a federated client."""
+        factory = self.model_factory()
+        return [
+            FederatedClient.from_client_data(data, factory, self.config.fl)
+            for data in self.client_data()
+        ]
+
+    # -- execution ----------------------------------------------------------------
+    def run_algorithm(
+        self, name: str, clients: Optional[Sequence[FederatedClient]] = None
+    ) -> AlgorithmOutcome:
+        """Train with one algorithm and evaluate it on every client."""
+        clients = list(clients) if clients is not None else self.federated_clients()
+        algorithm = create_algorithm(name, clients, self.model_factory(), self.config.fl)
+        start = time.perf_counter()
+        training = algorithm.run()
+        runtime = time.perf_counter() - start
+        evaluation = evaluate_result(training, clients)
+        return AlgorithmOutcome(
+            algorithm=name,
+            evaluation=evaluation,
+            training=training,
+            runtime_seconds=runtime,
+        )
+
+    def run(self, algorithms: Optional[Sequence[str]] = None) -> ExperimentResult:
+        """Run every algorithm of the configuration and collect the table."""
+        names = tuple(algorithms) if algorithms is not None else self.config.algorithms
+        result = ExperimentResult(config=self.config)
+        clients = self.federated_clients()
+        for name in names:
+            result.outcomes.append(self.run_algorithm(name, clients))
+        return result
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    algorithms: Optional[Sequence[str]] = None,
+    cache_dir: Optional[PathLike] = None,
+) -> ExperimentResult:
+    """One-call convenience wrapper around :class:`ExperimentRunner`."""
+    return ExperimentRunner(config, cache_dir=cache_dir).run(algorithms)

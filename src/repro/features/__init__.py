@@ -1,0 +1,15 @@
+"""Routability feature extraction."""
+
+from repro.features.extraction import (
+    DEFAULT_FEATURES,
+    FEATURE_BUILDERS,
+    FeatureExtractor,
+    available_features,
+)
+
+__all__ = [
+    "FeatureExtractor",
+    "DEFAULT_FEATURES",
+    "FEATURE_BUILDERS",
+    "available_features",
+]

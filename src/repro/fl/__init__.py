@@ -1,0 +1,177 @@
+"""Decentralized (federated) training framework.
+
+This subpackage is the paper's primary contribution area: the decentralized
+training loop (Figure 1), the FedProx objective (Equation 1), and the five
+personalization techniques (Figure 2), together with the local-only and
+centralized baselines used as the lower and upper reference points of
+Tables 3-5.
+"""
+
+from typing import Dict, Type
+
+from repro.fl.algorithms import (
+    Centralized,
+    DPFedProx,
+    FedAvg,
+    FedAvgM,
+    FedBN,
+    FederatedAlgorithm,
+    FedProx,
+    LocalOnly,
+    ModelFactory,
+    RoundRecord,
+    SeededModelFactory,
+    TrainingResult,
+    normalization_parameter_names,
+)
+from repro.fl.client import FederatedClient
+from repro.fl.communication import (
+    BYTES_PER_FLOAT32,
+    CommunicationReport,
+    CommunicationTracker,
+    CompressionResult,
+    compression_error,
+    estimate_communication,
+    quantize_state,
+    state_bytes,
+    state_num_parameters,
+    topk_sparsify,
+)
+from repro.fl.config import PAPER_ASSIGNED_CLUSTERS, FLConfig, paper_fl_config, scaled_fl_config
+from repro.fl.evaluation import (
+    EvaluationRow,
+    evaluate_cross_client,
+    evaluate_result,
+    local_average_row,
+    rows_to_table,
+)
+from repro.fl.parameters import (
+    State,
+    average_pairwise_distance,
+    clone_state,
+    filter_state,
+    flatten_state,
+    interpolate,
+    merge_partition,
+    state_distance,
+    state_norm,
+    weighted_average,
+    zeros_like_state,
+)
+from repro.fl.privacy import (
+    GaussianAccountant,
+    PrivacyConfig,
+    PrivateUpdateLog,
+    SecureAggregationSession,
+    add_gaussian_noise,
+    apply_update,
+    clip_update,
+    privatize_update,
+    state_update,
+)
+from repro.fl.personalization import (
+    IFCA,
+    AlphaPortionSync,
+    AssignedClustering,
+    FedProxFineTuning,
+    FedProxLG,
+)
+from repro.fl.server import FederatedServer
+from repro.fl.trainer import LocalTrainer, StepStatistics, predict_dataset
+
+#: Registry of every training algorithm, keyed by its configuration name.
+ALGORITHMS: Dict[str, Type[FederatedAlgorithm]] = {
+    LocalOnly.name: LocalOnly,
+    Centralized.name: Centralized,
+    FedAvg.name: FedAvg,
+    FedProx.name: FedProx,
+    FedProxLG.name: FedProxLG,
+    IFCA.name: IFCA,
+    FedProxFineTuning.name: FedProxFineTuning,
+    AssignedClustering.name: AssignedClustering,
+    AlphaPortionSync.name: AlphaPortionSync,
+    FedAvgM.name: FedAvgM,
+    FedBN.name: FedBN,
+    DPFedProx.name: DPFedProx,
+}
+
+
+def create_algorithm(
+    name: str,
+    clients,
+    model_factory,
+    config: FLConfig,
+) -> FederatedAlgorithm:
+    """Instantiate a training algorithm from the registry by name."""
+    key = name.lower()
+    if key not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}")
+    return ALGORITHMS[key](clients, model_factory, config)
+
+
+__all__ = [
+    "FLConfig",
+    "paper_fl_config",
+    "scaled_fl_config",
+    "PAPER_ASSIGNED_CLUSTERS",
+    "FederatedClient",
+    "FederatedServer",
+    "LocalTrainer",
+    "StepStatistics",
+    "predict_dataset",
+    "FederatedAlgorithm",
+    "TrainingResult",
+    "RoundRecord",
+    "ModelFactory",
+    "SeededModelFactory",
+    "LocalOnly",
+    "Centralized",
+    "FedAvg",
+    "FedProx",
+    "FedProxLG",
+    "IFCA",
+    "FedProxFineTuning",
+    "AssignedClustering",
+    "AlphaPortionSync",
+    "FedAvgM",
+    "FedBN",
+    "normalization_parameter_names",
+    "DPFedProx",
+    "ALGORITHMS",
+    "create_algorithm",
+    "PrivacyConfig",
+    "GaussianAccountant",
+    "PrivateUpdateLog",
+    "SecureAggregationSession",
+    "privatize_update",
+    "state_update",
+    "apply_update",
+    "clip_update",
+    "add_gaussian_noise",
+    "BYTES_PER_FLOAT32",
+    "state_num_parameters",
+    "state_bytes",
+    "CommunicationReport",
+    "CommunicationTracker",
+    "CompressionResult",
+    "estimate_communication",
+    "topk_sparsify",
+    "quantize_state",
+    "compression_error",
+    "EvaluationRow",
+    "evaluate_result",
+    "evaluate_cross_client",
+    "local_average_row",
+    "rows_to_table",
+    "State",
+    "weighted_average",
+    "interpolate",
+    "merge_partition",
+    "filter_state",
+    "clone_state",
+    "zeros_like_state",
+    "state_distance",
+    "state_norm",
+    "flatten_state",
+    "average_pairwise_distance",
+]

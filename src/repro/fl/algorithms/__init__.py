@@ -1,0 +1,30 @@
+"""Decentralized training algorithms and baselines."""
+
+from repro.fl.algorithms.base import (
+    FederatedAlgorithm,
+    ModelFactory,
+    RoundRecord,
+    SeededModelFactory,
+    TrainingResult,
+)
+from repro.fl.algorithms.baselines import Centralized, LocalOnly
+from repro.fl.algorithms.dp import DPFedProx
+from repro.fl.algorithms.fedavgm import FedAvgM
+from repro.fl.algorithms.fedbn import FedBN, normalization_parameter_names
+from repro.fl.algorithms.fedprox import FedAvg, FedProx
+
+__all__ = [
+    "FederatedAlgorithm",
+    "TrainingResult",
+    "RoundRecord",
+    "ModelFactory",
+    "SeededModelFactory",
+    "LocalOnly",
+    "Centralized",
+    "FedAvg",
+    "FedProx",
+    "FedAvgM",
+    "FedBN",
+    "normalization_parameter_names",
+    "DPFedProx",
+]

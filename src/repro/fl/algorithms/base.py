@@ -1,0 +1,137 @@
+"""Common machinery of decentralized training algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.client import FederatedClient
+from repro.fl.config import FLConfig
+from repro.fl.parameters import State, clone_state
+from repro.fl.server import FederatedServer
+from repro.models.base import RoutabilityModel
+
+ModelFactory = Callable[[], RoutabilityModel]
+
+
+@dataclass
+class RoundRecord:
+    """Summary of one communication round (or one training stage)."""
+
+    round_index: int
+    mean_loss: float
+    per_client_loss: Dict[int, float] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class TrainingResult:
+    """Output of a decentralized training algorithm.
+
+    ``global_state`` is the generalized model (if the algorithm produces
+    one); ``client_states`` holds personalized per-client models (if any).
+    Evaluation uses :meth:`state_for_client`, which prefers the personalized
+    state and falls back to the global one — mirroring how the paper
+    evaluates generalized vs. personalized methods with one interface.
+    """
+
+    algorithm: str
+    global_state: Optional[State] = None
+    client_states: Dict[int, State] = field(default_factory=dict)
+    history: List[RoundRecord] = field(default_factory=list)
+
+    def state_for_client(self, client_id: int) -> State:
+        if client_id in self.client_states:
+            return self.client_states[client_id]
+        if self.global_state is not None:
+            return self.global_state
+        raise KeyError(
+            f"result of {self.algorithm!r} has neither a personalized state for "
+            f"client {client_id} nor a global state"
+        )
+
+    @property
+    def is_personalized(self) -> bool:
+        return bool(self.client_states)
+
+    def final_loss(self) -> float:
+        """Mean loss of the final recorded round (NaN when no history exists)."""
+        if not self.history:
+            return float("nan")
+        return self.history[-1].mean_loss
+
+
+class FederatedAlgorithm:
+    """Base class for every training algorithm (federated or baseline)."""
+
+    #: Registry / display name, overridden by subclasses.
+    name: str = "base"
+
+    def __init__(
+        self,
+        clients: Sequence[FederatedClient],
+        model_factory: ModelFactory,
+        config: FLConfig,
+        server: Optional[FederatedServer] = None,
+    ):
+        if not clients:
+            raise ValueError("at least one client is required")
+        self.clients: List[FederatedClient] = list(clients)
+        self.model_factory = model_factory
+        self.config = config
+        self.server = server if server is not None else FederatedServer()
+
+    # -- helpers shared by subclasses -------------------------------------------
+    def client_weights(self) -> List[float]:
+        """Aggregation weights ``n_k`` (training sample counts)."""
+        return [float(client.num_samples) for client in self.clients]
+
+    def initial_state(self) -> State:
+        """A fresh global model initialization."""
+        return self.model_factory().state_dict()
+
+    def _round_record(
+        self,
+        round_index: int,
+        per_client_loss: Dict[int, float],
+        extra: Optional[Dict[str, object]] = None,
+    ) -> RoundRecord:
+        mean_loss = float(np.mean(list(per_client_loss.values()))) if per_client_loss else float("nan")
+        return RoundRecord(
+            round_index=round_index,
+            mean_loss=mean_loss,
+            per_client_loss=dict(per_client_loss),
+            extra=dict(extra or {}),
+        )
+
+    # -- interface ------------------------------------------------------------------
+    def run(self) -> TrainingResult:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}(clients={len(self.clients)})"
+
+
+class SeededModelFactory:
+    """A model factory producing deterministic but distinct initializations.
+
+    Every call creates a new model seeded by ``base_seed + call index``; this
+    is what IFCA uses to initialize ``C`` distinct cluster models while the
+    whole experiment stays reproducible.
+    """
+
+    def __init__(self, builder: Callable[[int], RoutabilityModel], base_seed: int = 0):
+        self._builder = builder
+        self._base_seed = int(base_seed)
+        self._calls = 0
+
+    def __call__(self) -> RoutabilityModel:
+        model = self._builder(self._base_seed + self._calls)
+        self._calls += 1
+        return model
+
+    def reset(self) -> None:
+        """Restart the seed sequence (a fresh factory for a fresh experiment)."""
+        self._calls = 0

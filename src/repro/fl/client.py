@@ -1,0 +1,135 @@
+"""The federated client.
+
+A client owns its private training and testing data.  The only things that
+ever leave the client are model parameter states (and scalar loss summaries),
+which is the privacy contract of the paper's decentralized training setting:
+"the developer can only receive model parameters from its clients".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.data.clients import ClientData
+from repro.data.dataset import RoutabilityDataset
+from repro.fl.config import FLConfig
+from repro.fl.parameters import State, clone_state
+from repro.fl.trainer import LocalTrainer, StepStatistics, predict_dataset
+from repro.metrics.roc import roc_auc_score
+from repro.models.base import RoutabilityModel
+
+ModelFactory = Callable[[], RoutabilityModel]
+
+
+class FederatedClient:
+    """One participant of decentralized training."""
+
+    def __init__(
+        self,
+        client_id: int,
+        train_dataset: RoutabilityDataset,
+        test_dataset: RoutabilityDataset,
+        model_factory: ModelFactory,
+        config: FLConfig,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if len(train_dataset) == 0:
+            raise ValueError(f"client {client_id} has no training data")
+        self.client_id = int(client_id)
+        self.train_dataset = train_dataset
+        self.test_dataset = test_dataset
+        self.config = config
+        self._model_factory = model_factory
+        self._model = model_factory()
+        self._rng = rng if rng is not None else np.random.default_rng(client_id)
+        self._trainer = LocalTrainer(
+            loss=config.loss,
+            optimizer=config.optimizer,
+            learning_rate=config.learning_rate,
+            weight_decay=config.weight_decay,
+            batch_size=config.batch_size,
+            rng=self._rng,
+        )
+
+    @classmethod
+    def from_client_data(
+        cls,
+        data: ClientData,
+        model_factory: ModelFactory,
+        config: FLConfig,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "FederatedClient":
+        """Build a federated client from a Table 2 client's data."""
+        return cls(
+            client_id=data.client_id,
+            train_dataset=data.train,
+            test_dataset=data.test,
+            model_factory=model_factory,
+            config=config,
+            rng=rng,
+        )
+
+    # -- data facts the server is allowed to know --------------------------------
+    @property
+    def num_samples(self) -> int:
+        """Number of training samples ``n_k`` (used as the aggregation weight)."""
+        return len(self.train_dataset)
+
+    # -- local computation ----------------------------------------------------------
+    def local_train(
+        self,
+        initial_state: State,
+        steps: Optional[int] = None,
+        proximal_mu: Optional[float] = None,
+    ) -> tuple:
+        """Train locally starting from ``initial_state``.
+
+        Returns ``(new_state, statistics)``.  The proximal reference is the
+        received state, per FedProx.
+        """
+        steps = steps if steps is not None else self.config.local_steps
+        mu = proximal_mu if proximal_mu is not None else self.config.proximal_mu
+        self._model.load_state_dict(initial_state)
+        reference = clone_state(initial_state) if mu > 0 else None
+        stats = self._trainer.train_steps(
+            self._model,
+            self.train_dataset,
+            steps=steps,
+            proximal_mu=mu,
+            proximal_reference=reference,
+        )
+        return self._model.state_dict(), stats
+
+    def fine_tune(self, initial_state: State, steps: Optional[int] = None) -> tuple:
+        """Personalize ``initial_state`` with plain local steps (no proximal term)."""
+        steps = steps if steps is not None else self.config.finetune_steps
+        self._model.load_state_dict(initial_state)
+        stats = self._trainer.train_steps(self._model, self.train_dataset, steps=steps)
+        return self._model.state_dict(), stats
+
+    def training_loss(self, state: State, max_batches: Optional[int] = None) -> float:
+        """Loss of ``state`` on this client's training data (IFCA cluster choice)."""
+        max_batches = max_batches if max_batches is not None else self.config.ifca_eval_batches
+        self._model.load_state_dict(state)
+        return self._trainer.evaluate_loss(self._model, self.train_dataset, max_batches=max_batches)
+
+    def evaluate_auc(self, state: State, dataset: Optional[RoutabilityDataset] = None) -> float:
+        """ROC AUC of ``state`` on this client's (or a given) test dataset."""
+        target = dataset if dataset is not None else self.test_dataset
+        if len(target) == 0:
+            raise ValueError(f"client {self.client_id} has no test data to evaluate on")
+        self._model.load_state_dict(state)
+        scores, labels = predict_dataset(self._model, target, batch_size=max(self.config.batch_size, 8))
+        return roc_auc_score(labels, scores)
+
+    def initial_state(self) -> State:
+        """A fresh model initialization (used by algorithms that need per-client inits)."""
+        return self._model_factory().state_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FederatedClient(id={self.client_id}, train={len(self.train_dataset)}, "
+            f"test={len(self.test_dataset)})"
+        )

@@ -1,0 +1,261 @@
+"""Communication cost accounting and update compression.
+
+Decentralized training replaces data movement with parameter movement, so the
+practical cost of every algorithm in this package is measured in bytes per
+round.  This module provides:
+
+* sizing helpers for model states (parameter counts and bytes at a chosen
+  precision);
+* an analytic per-algorithm communication model (uplink/downlink per round
+  and per training run) for every algorithm in the registry, which the
+  communication benchmark turns into a table;
+* a :class:`CommunicationTracker` that algorithms or experiments can use to
+  record actual transfers;
+* two classic update-compression schemes — top-k sparsification and uniform
+  quantization — with the byte savings they would realize on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fl.parameters import State, clone_state
+
+#: Bytes per parameter at single precision (what the paper's models would ship).
+BYTES_PER_FLOAT32 = 4
+
+
+def state_num_parameters(state: State) -> int:
+    """Total number of scalar entries in a model state."""
+    return int(sum(int(np.asarray(values).size) for values in state.values()))
+
+
+def state_bytes(state: State, bytes_per_value: int = BYTES_PER_FLOAT32) -> int:
+    """Size of a model state on the wire at ``bytes_per_value`` precision."""
+    if bytes_per_value <= 0:
+        raise ValueError("bytes_per_value must be positive")
+    return state_num_parameters(state) * bytes_per_value
+
+
+@dataclass(frozen=True)
+class CommunicationReport:
+    """Analytic communication cost of one algorithm for one training run."""
+
+    algorithm: str
+    rounds: int
+    num_clients: int
+    uplink_bytes_per_round: int
+    downlink_bytes_per_round: int
+
+    @property
+    def total_uplink_bytes(self) -> int:
+        return self.uplink_bytes_per_round * self.rounds
+
+    @property
+    def total_downlink_bytes(self) -> int:
+        return self.downlink_bytes_per_round * self.rounds
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_uplink_bytes + self.total_downlink_bytes
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "algorithm": self.algorithm,
+            "rounds": self.rounds,
+            "num_clients": self.num_clients,
+            "uplink_bytes_per_round": self.uplink_bytes_per_round,
+            "downlink_bytes_per_round": self.downlink_bytes_per_round,
+            "total_bytes": self.total_bytes,
+        }
+
+
+def estimate_communication(
+    algorithm: str,
+    state: State,
+    num_clients: int,
+    rounds: int,
+    global_fraction: float = 1.0,
+    num_clusters: int = 1,
+) -> CommunicationReport:
+    """Analytic uplink/downlink model of one algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        One of the registry names (``fedavg``, ``fedprox``, ``fedprox_lg``,
+        ``ifca``, ``fedprox_finetune``, ``assigned_clustering``,
+        ``fedprox_alpha``, ``fedbn``, ``fedavgm``, ``local``, ``centralized``).
+    state:
+        A representative model state (for its size).
+    global_fraction:
+        Fraction of the state that is globally shared (FedProx-LG / FedBN
+        ship only this part).
+    num_clusters:
+        IFCA downlink ships every cluster model to every client.
+    """
+    if num_clients <= 0 or rounds < 0:
+        raise ValueError("num_clients must be positive and rounds non-negative")
+    if not 0.0 < global_fraction <= 1.0:
+        raise ValueError("global_fraction must be in (0, 1]")
+    if num_clusters <= 0:
+        raise ValueError("num_clusters must be positive")
+    size = state_bytes(state)
+    shared = int(round(size * global_fraction))
+    key = algorithm.lower()
+
+    if key in ("local", "centralized"):
+        # Local training never communicates; centralized training ships the
+        # data once, not parameters — neither has a per-round parameter cost.
+        uplink = downlink = 0
+    elif key in ("fedavg", "fedprox", "fedprox_finetune", "fedprox_alpha", "fedavgm"):
+        uplink = size * num_clients
+        downlink = size * num_clients
+    elif key in ("fedprox_lg", "fedbn"):
+        uplink = shared * num_clients
+        downlink = shared * num_clients
+    elif key == "ifca":
+        # Every client uploads one model but must receive all cluster models
+        # to choose among them.
+        uplink = size * num_clients
+        downlink = size * num_clusters * num_clients
+    elif key == "assigned_clustering":
+        uplink = size * num_clients
+        downlink = size * num_clients
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r} for communication estimation")
+
+    return CommunicationReport(
+        algorithm=key,
+        rounds=rounds,
+        num_clients=num_clients,
+        uplink_bytes_per_round=int(uplink),
+        downlink_bytes_per_round=int(downlink),
+    )
+
+
+class CommunicationTracker:
+    """Records actual parameter transfers during a training run."""
+
+    def __init__(self):
+        self._uplink: List[Tuple[int, int, int]] = []  # (round, client, bytes)
+        self._downlink: List[Tuple[int, int, int]] = []
+
+    def log_upload(self, round_index: int, client_id: int, state: State) -> int:
+        size = state_bytes(state)
+        self._uplink.append((int(round_index), int(client_id), size))
+        return size
+
+    def log_download(self, round_index: int, client_id: int, state: State) -> int:
+        size = state_bytes(state)
+        self._downlink.append((int(round_index), int(client_id), size))
+        return size
+
+    @property
+    def total_uplink_bytes(self) -> int:
+        return sum(size for _, _, size in self._uplink)
+
+    @property
+    def total_downlink_bytes(self) -> int:
+        return sum(size for _, _, size in self._downlink)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_uplink_bytes + self.total_downlink_bytes
+
+    def per_round(self) -> Dict[int, int]:
+        """Total bytes (both directions) per round index."""
+        totals: Dict[int, int] = {}
+        for round_index, _, size in self._uplink + self._downlink:
+            totals[round_index] = totals.get(round_index, 0) + size
+        return totals
+
+    def per_client(self) -> Dict[int, int]:
+        """Total bytes (both directions) per client id."""
+        totals: Dict[int, int] = {}
+        for _, client_id, size in self._uplink + self._downlink:
+            totals[client_id] = totals.get(client_id, 0) + size
+        return totals
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """A compressed (and already de-compressed) state plus its wire cost."""
+
+    state: State
+    payload_bytes: int
+    baseline_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Baseline bytes divided by compressed bytes (higher is better)."""
+        if self.payload_bytes == 0:
+            return float("inf")
+        return self.baseline_bytes / self.payload_bytes
+
+
+def topk_sparsify(state: State, keep_fraction: float) -> CompressionResult:
+    """Keep only the largest-magnitude ``keep_fraction`` of entries.
+
+    The surviving values keep their exact value (the rest become zero); the
+    wire cost assumes a (4-byte index, 4-byte value) pair per surviving entry.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    total = state_num_parameters(state)
+    keep = max(int(round(total * keep_fraction)), 1)
+    flat = np.concatenate([np.asarray(values).ravel() for values in state.values()])
+    if keep >= total:
+        threshold = -np.inf
+    else:
+        threshold = np.partition(np.abs(flat), total - keep)[total - keep]
+    kept = 0
+    sparse: State = {}
+    for name, values in state.items():
+        mask = np.abs(values) >= threshold if np.isfinite(threshold) else np.ones_like(values, dtype=bool)
+        sparse[name] = np.where(mask, values, 0.0)
+        kept += int(mask.sum())
+    payload = kept * (4 + BYTES_PER_FLOAT32)
+    return CompressionResult(state=sparse, payload_bytes=payload, baseline_bytes=state_bytes(state))
+
+
+def quantize_state(state: State, num_bits: int = 8) -> CompressionResult:
+    """Uniform per-tensor quantization to ``num_bits`` bits.
+
+    Values are quantized to a uniform grid between each tensor's min and max
+    and immediately de-quantized (what the receiver would reconstruct); the
+    wire cost is ``num_bits`` per value plus two floats of scale metadata per
+    tensor.
+    """
+    if not 1 <= num_bits <= 16:
+        raise ValueError("num_bits must be between 1 and 16")
+    levels = 2**num_bits - 1
+    quantized: State = {}
+    for name, values in state.items():
+        array = np.asarray(values, dtype=np.float64)
+        low = float(array.min())
+        high = float(array.max())
+        span = high - low
+        if span == 0.0:
+            quantized[name] = array.copy()
+            continue
+        codes = np.round((array - low) / span * levels)
+        quantized[name] = low + codes / levels * span
+    payload = int(np.ceil(state_num_parameters(state) * num_bits / 8)) + 2 * BYTES_PER_FLOAT32 * len(state)
+    return CompressionResult(state=quantized, payload_bytes=payload, baseline_bytes=state_bytes(state))
+
+
+def compression_error(original: State, compressed: State) -> float:
+    """Relative L2 error introduced by a compression scheme."""
+    num = 0.0
+    denom = 0.0
+    for name in original:
+        diff = np.asarray(original[name]) - np.asarray(compressed[name])
+        num += float(np.sum(diff**2))
+        denom += float(np.sum(np.asarray(original[name]) ** 2))
+    if denom == 0.0:
+        return 0.0
+    return float(np.sqrt(num / denom))

@@ -1,0 +1,135 @@
+"""Operations on model state dictionaries used by federated aggregation.
+
+A "state" is the flat ``name -> ndarray`` mapping produced by
+:meth:`repro.nn.Module.state_dict`.  Everything the developer ever sees in
+the decentralized setting is one of these states — never raw data — so all
+server-side algorithms (FedAvg/FedProx averaging, FedProx-LG partial
+aggregation, IFCA per-cluster aggregation, alpha-portion sync) are expressed
+as arithmetic over states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+State = Dict[str, np.ndarray]
+
+
+def clone_state(state: State) -> State:
+    """Deep-copy a state dictionary."""
+    return {name: np.array(values, copy=True) for name, values in state.items()}
+
+
+def zeros_like_state(state: State) -> State:
+    """A state with the same keys/shapes but all zeros."""
+    return {name: np.zeros_like(values) for name, values in state.items()}
+
+
+def check_compatible(states: Sequence[State]) -> None:
+    """Validate that all states share keys and shapes."""
+    if not states:
+        raise ValueError("no states provided")
+    reference = states[0]
+    for index, state in enumerate(states[1:], start=1):
+        if set(state) != set(reference):
+            raise ValueError(f"state {index} has different keys than state 0")
+        for name in reference:
+            if state[name].shape != reference[name].shape:
+                raise ValueError(
+                    f"state {index} entry {name!r} has shape {state[name].shape}, "
+                    f"expected {reference[name].shape}"
+                )
+
+
+def weighted_average(states: Sequence[State], weights: Sequence[float]) -> State:
+    """Weighted average of states (weights are normalized internally).
+
+    This is the server's parameter-aggregation step
+    ``W^{r+1} = sum_k (n_k / n) w_k^r`` from Figure 1 of the paper.
+    """
+    states = list(states)
+    weights = np.asarray(list(weights), dtype=np.float64)
+    if len(states) != weights.size:
+        raise ValueError(f"got {len(states)} states but {weights.size} weights")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    check_compatible(states)
+    normalized = weights / total
+    result: State = {}
+    for name in states[0]:
+        stacked = np.stack([state[name] for state in states], axis=0)
+        result[name] = np.tensordot(normalized, stacked, axes=(0, 0))
+    return result
+
+
+def interpolate(state_a: State, state_b: State, weight_a: float) -> State:
+    """``weight_a * state_a + (1 - weight_a) * state_b`` (alpha-portion sync)."""
+    if not 0.0 <= weight_a <= 1.0:
+        raise ValueError(f"weight_a must be in [0, 1], got {weight_a}")
+    check_compatible([state_a, state_b])
+    return {
+        name: weight_a * state_a[name] + (1.0 - weight_a) * state_b[name]
+        for name in state_a
+    }
+
+
+def merge_partition(global_state: State, local_state: State, local_names: Iterable[str]) -> State:
+    """Overlay the ``local_names`` entries of ``local_state`` onto ``global_state``.
+
+    Used by FedProx-LG: the developer's aggregate supplies the global part,
+    the client's private copy supplies the local part.
+    """
+    local_names = set(local_names)
+    unknown = local_names - set(global_state)
+    if unknown:
+        raise ValueError(f"local parameter names not present in state: {sorted(unknown)}")
+    merged = clone_state(global_state)
+    for name in local_names:
+        merged[name] = np.array(local_state[name], copy=True)
+    return merged
+
+
+def filter_state(state: State, names: Iterable[str]) -> State:
+    """A new state containing only the requested entries."""
+    names = list(names)
+    missing = [name for name in names if name not in state]
+    if missing:
+        raise ValueError(f"state does not contain {missing}")
+    return {name: np.array(state[name], copy=True) for name in names}
+
+
+def state_distance(state_a: State, state_b: State) -> float:
+    """Euclidean distance between two states (used in tests and diagnostics)."""
+    check_compatible([state_a, state_b])
+    total = 0.0
+    for name in state_a:
+        diff = state_a[name] - state_b[name]
+        total += float(np.sum(diff * diff))
+    return float(np.sqrt(total))
+
+
+def state_norm(state: State) -> float:
+    """Euclidean norm of a state."""
+    return float(np.sqrt(sum(float(np.sum(values**2)) for values in state.values())))
+
+
+def flatten_state(state: State) -> np.ndarray:
+    """Concatenate all entries into one vector (deterministic key order)."""
+    return np.concatenate([np.asarray(state[name]).ravel() for name in sorted(state)])
+
+
+def average_pairwise_distance(states: Sequence[State]) -> float:
+    """Mean pairwise distance between client states (heterogeneity diagnostic)."""
+    states = list(states)
+    if len(states) < 2:
+        return 0.0
+    distances: List[float] = []
+    for i in range(len(states)):
+        for j in range(i + 1, len(states)):
+            distances.append(state_distance(states[i], states[j]))
+    return float(np.mean(distances))

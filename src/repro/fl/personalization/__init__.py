@@ -1,0 +1,14 @@
+"""Federated-learning personalization techniques (Section 4.3)."""
+
+from repro.fl.personalization.alpha_sync import AlphaPortionSync
+from repro.fl.personalization.clustering import IFCA, AssignedClustering
+from repro.fl.personalization.finetune import FedProxFineTuning
+from repro.fl.personalization.lg import FedProxLG
+
+__all__ = [
+    "FedProxFineTuning",
+    "FedProxLG",
+    "IFCA",
+    "AssignedClustering",
+    "AlphaPortionSync",
+]

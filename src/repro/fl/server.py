@@ -1,0 +1,99 @@
+"""The federated server (the "model developer" of the paper).
+
+The server never sees data.  It collects parameter states from clients,
+aggregates them (globally, per cluster, per partition, or per client for
+alpha-portion sync), and redistributes the results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.fl.parameters import (
+    State,
+    clone_state,
+    filter_state,
+    interpolate,
+    merge_partition,
+    weighted_average,
+)
+
+
+class FederatedServer:
+    """Parameter-aggregation logic used by every algorithm in this package."""
+
+    def aggregate(self, states: Sequence[State], weights: Sequence[float]) -> State:
+        """Sample-count-weighted average: ``W^{r+1} = sum_k (n_k / n) w_k^r``."""
+        return weighted_average(states, weights)
+
+    def aggregate_partition(
+        self,
+        states: Sequence[State],
+        weights: Sequence[float],
+        global_names: Iterable[str],
+    ) -> State:
+        """Aggregate only the ``global_names`` entries (FedProx-LG).
+
+        Returns a state containing only the global part.
+        """
+        partial_states = [filter_state(state, global_names) for state in states]
+        return weighted_average(partial_states, weights)
+
+    def merge_global_local(self, global_part: State, full_local_state: State) -> State:
+        """Combine the aggregated global part with one client's full state."""
+        merged = clone_state(full_local_state)
+        for name, values in global_part.items():
+            merged[name] = values.copy()
+        return merged
+
+    def aggregate_clusters(
+        self,
+        cluster_states: Dict[int, State],
+        member_states: Dict[int, List[State]],
+        member_weights: Dict[int, List[float]],
+    ) -> Dict[int, State]:
+        """Per-cluster aggregation (IFCA / assigned clustering).
+
+        Clusters with no members this round keep their previous state.
+        """
+        updated: Dict[int, State] = {}
+        for cluster_id, previous in cluster_states.items():
+            states = member_states.get(cluster_id, [])
+            weights = member_weights.get(cluster_id, [])
+            if states:
+                updated[cluster_id] = weighted_average(states, weights)
+            else:
+                updated[cluster_id] = clone_state(previous)
+        return updated
+
+    def alpha_portion_sync(
+        self,
+        client_states: Dict[int, State],
+        client_weights: Dict[int, float],
+        alpha: float,
+    ) -> Dict[int, State]:
+        """Per-client customized aggregation (Figure 2d).
+
+        For client ``k``:
+        ``W_k = alpha * w_k + (1 - alpha) * sum_{k' != k} n_k' / (n - n_k) * w_k'``.
+        With a single client the method degenerates to the client's own state.
+        """
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        result: Dict[int, State] = {}
+        client_ids = list(client_states)
+        for client_id in client_ids:
+            own = client_states[client_id]
+            other_ids = [cid for cid in client_ids if cid != client_id]
+            if not other_ids:
+                result[client_id] = clone_state(own)
+                continue
+            other_states = [client_states[cid] for cid in other_ids]
+            other_weights = [client_weights[cid] for cid in other_ids]
+            others_average = weighted_average(other_states, other_weights)
+            result[client_id] = interpolate(own, others_average, alpha)
+        return result
+
+    def partition_merge(self, global_state: State, local_state: State, local_names: Iterable[str]) -> State:
+        """Overlay a client's private local part onto the shared global state."""
+        return merge_partition(global_state, local_state, local_names)

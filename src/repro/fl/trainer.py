@@ -1,0 +1,164 @@
+"""Local training loop shared by every decentralized algorithm.
+
+The trainer performs plain mini-batch gradient steps on one client's data
+with an optional FedProx proximal term.  The proximal term of Equation (1),
+``mu * ||W^r - w||^2``, contributes ``2 * mu * (w - W^r)`` to each parameter
+gradient; adding it here (rather than inside the loss) keeps the layer code
+oblivious to federated learning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import RoutabilityDataset
+from repro.data.loader import DataLoader, infinite_batches
+from repro.fl.parameters import State
+from repro.models.base import RoutabilityModel
+from repro.nn.losses import Loss, make_loss
+from repro.nn.optim import make_optimizer
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class StepStatistics:
+    """Aggregate statistics of one call to :meth:`LocalTrainer.train_steps`."""
+
+    steps: int
+    mean_loss: float
+    final_loss: float
+
+
+class LocalTrainer:
+    """Runs gradient steps of one model on one dataset."""
+
+    def __init__(
+        self,
+        loss: str = "mse",
+        optimizer: str = "adam",
+        learning_rate: float = 2e-4,
+        weight_decay: float = 1e-5,
+        batch_size: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        check_positive("learning_rate", learning_rate)
+        check_positive("batch_size", batch_size)
+        self.loss_name = loss
+        self.optimizer_name = optimizer
+        self.learning_rate = float(learning_rate)
+        self.weight_decay = float(weight_decay)
+        self.batch_size = int(batch_size)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def make_loader(self, dataset: RoutabilityDataset, shuffle: bool = True) -> DataLoader:
+        """Build a loader with this trainer's batch size and RNG."""
+        return DataLoader(
+            dataset,
+            batch_size=self.batch_size,
+            shuffle=shuffle,
+            rng=np.random.default_rng(self._rng.integers(0, 2**63 - 1)),
+        )
+
+    def train_steps(
+        self,
+        model: RoutabilityModel,
+        dataset: RoutabilityDataset,
+        steps: int,
+        proximal_mu: float = 0.0,
+        proximal_reference: Optional[State] = None,
+    ) -> StepStatistics:
+        """Run ``steps`` mini-batch updates of ``model`` on ``dataset``.
+
+        Parameters
+        ----------
+        proximal_mu / proximal_reference:
+            When both are provided, each parameter gradient receives the
+            FedProx proximal contribution ``2 * mu * (param - reference)``.
+        """
+        check_positive("steps", steps)
+        if proximal_mu < 0:
+            raise ValueError(f"proximal_mu must be non-negative, got {proximal_mu}")
+        if proximal_mu > 0 and proximal_reference is None:
+            raise ValueError("proximal_reference is required when proximal_mu > 0")
+
+        loader = self.make_loader(dataset)
+        batches = infinite_batches(loader)
+        loss_fn: Loss = make_loss(self.loss_name)
+        optimizer = make_optimizer(
+            self.optimizer_name,
+            model.parameters(),
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
+        )
+        reference = proximal_reference if proximal_mu > 0 else None
+        named_params = dict(model.named_parameters()) if reference is not None else {}
+
+        model.train()
+        losses = np.zeros(steps, dtype=np.float64)
+        for step, (features, labels) in zip(range(steps), batches):
+            optimizer.zero_grad()
+            predictions = model.forward(features)
+            losses[step] = loss_fn.forward(predictions, labels)
+            model.backward(loss_fn.backward())
+            if reference is not None:
+                self._add_proximal_gradient(named_params, reference, proximal_mu)
+            optimizer.step()
+        return StepStatistics(
+            steps=steps,
+            mean_loss=float(losses.mean()),
+            final_loss=float(losses[-1]),
+        )
+
+    @staticmethod
+    def _add_proximal_gradient(
+        named_params: Dict[str, object], reference: State, mu: float
+    ) -> None:
+        for name, param in named_params.items():
+            if name in reference:
+                param.grad += 2.0 * mu * (param.data - reference[name])
+
+    def evaluate_loss(
+        self,
+        model: RoutabilityModel,
+        dataset: RoutabilityDataset,
+        max_batches: Optional[int] = None,
+    ) -> float:
+        """Mean loss of ``model`` over (a prefix of) ``dataset`` in eval mode."""
+        loader = self.make_loader(dataset, shuffle=False)
+        loss_fn: Loss = make_loss(self.loss_name)
+        model.eval()
+        losses = []
+        for index, (features, labels) in enumerate(loader):
+            if max_batches is not None and index >= max_batches:
+                break
+            predictions = model.forward(features)
+            losses.append(loss_fn.forward(predictions, labels))
+        model.train()
+        if not losses:
+            raise ValueError("evaluate_loss processed no batches")
+        return float(np.mean(losses))
+
+
+def predict_dataset(
+    model: RoutabilityModel,
+    dataset: RoutabilityDataset,
+    batch_size: int = 16,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Predict scores for every sample of ``dataset``.
+
+    Returns ``(scores, labels)`` flattened over all samples and grid bins,
+    ready for :func:`repro.metrics.roc_auc_score`.
+    """
+    check_positive("batch_size", batch_size)
+    scores = []
+    labels = []
+    for start in range(0, len(dataset), batch_size):
+        chunk = [dataset[i] for i in range(start, min(start + batch_size, len(dataset)))]
+        features = np.stack([sample.features for sample in chunk], axis=0)
+        predictions = model.predict(features)
+        scores.append(predictions.reshape(-1))
+        labels.append(np.stack([sample.label for sample in chunk], axis=0).reshape(-1))
+    return np.concatenate(scores), np.concatenate(labels)

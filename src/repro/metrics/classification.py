@@ -1,0 +1,64 @@
+"""Threshold-based binary classification metrics (confusion matrix and friends)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def confusion_matrix(labels: np.ndarray, predictions: np.ndarray) -> np.ndarray:
+    """2x2 confusion matrix ``[[TN, FP], [FN, TP]]`` for binary inputs."""
+    labels = np.asarray(labels).reshape(-1).astype(int)
+    predictions = np.asarray(predictions).reshape(-1).astype(int)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have the same number of elements")
+    for name, values in (("labels", labels), ("predictions", predictions)):
+        bad = np.setdiff1d(np.unique(values), [0, 1])
+        if bad.size:
+            raise ValueError(f"{name} must be binary (0/1), got values {bad}")
+    true_negative = int(np.sum((labels == 0) & (predictions == 0)))
+    false_positive = int(np.sum((labels == 0) & (predictions == 1)))
+    false_negative = int(np.sum((labels == 1) & (predictions == 0)))
+    true_positive = int(np.sum((labels == 1) & (predictions == 1)))
+    return np.array([[true_negative, false_positive], [false_negative, true_positive]])
+
+
+def _counts(labels: np.ndarray, predictions: np.ndarray) -> Dict[str, int]:
+    matrix = confusion_matrix(labels, predictions)
+    return {
+        "tn": int(matrix[0, 0]),
+        "fp": int(matrix[0, 1]),
+        "fn": int(matrix[1, 0]),
+        "tp": int(matrix[1, 1]),
+    }
+
+
+def accuracy_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of correctly classified bins."""
+    counts = _counts(labels, predictions)
+    total = sum(counts.values())
+    return (counts["tp"] + counts["tn"]) / total if total else 0.0
+
+
+def precision_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """TP / (TP + FP); zero when no positives are predicted."""
+    counts = _counts(labels, predictions)
+    denominator = counts["tp"] + counts["fp"]
+    return counts["tp"] / denominator if denominator else 0.0
+
+
+def recall_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """TP / (TP + FN); zero when there are no positive labels."""
+    counts = _counts(labels, predictions)
+    denominator = counts["tp"] + counts["fn"]
+    return counts["tp"] / denominator if denominator else 0.0
+
+
+def f1_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(labels, predictions)
+    recall = recall_score(labels, predictions)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)

@@ -1,0 +1,18 @@
+"""Routability estimators: FLNet (ours) plus the RouteNet and PROS baselines."""
+
+from repro.models.base import RoutabilityModel
+from repro.models.flnet import FLNet
+from repro.models.pros import PROS
+from repro.models.registry import available_models, create_model, register_model
+from repro.models.routenet import RouteNet, RouteNetGN
+
+__all__ = [
+    "RoutabilityModel",
+    "FLNet",
+    "RouteNet",
+    "RouteNetGN",
+    "PROS",
+    "create_model",
+    "available_models",
+    "register_model",
+]

@@ -1,0 +1,61 @@
+"""Model registry: build any of the three estimators from a configuration string."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.models.base import RoutabilityModel
+from repro.models.flnet import FLNet
+from repro.models.pros import PROS
+from repro.models.routenet import RouteNet, RouteNetGN
+
+ModelFactory = Callable[..., RoutabilityModel]
+
+_REGISTRY: Dict[str, ModelFactory] = {
+    "flnet": FLNet,
+    "routenet": RouteNet,
+    "routenet_gn": RouteNetGN,
+    "pros": PROS,
+}
+
+
+def available_models() -> List[str]:
+    """Names of the registered routability estimators."""
+    return sorted(_REGISTRY)
+
+
+def register_model(name: str, factory: ModelFactory, overwrite: bool = False) -> None:
+    """Register a custom estimator so experiment configs can refer to it by name."""
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"model {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def create_model(
+    name: str,
+    in_channels: int,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs,
+) -> RoutabilityModel:
+    """Instantiate a registered model by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_models` (case-insensitive).
+    in_channels:
+        Number of input feature channels.
+    seed / rng:
+        Weight-initialization randomness (mutually exclusive; ``rng`` wins).
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown model {name!r}; available: {available_models()}")
+    factory = _REGISTRY[key]
+    if rng is not None:
+        return factory(in_channels, rng=rng, **kwargs)
+    return factory(in_channels, seed=seed, **kwargs)

@@ -1,0 +1,147 @@
+"""Low-level tensor operations shared by the convolutional layers.
+
+The implementation follows the classic im2col / col2im formulation: a
+convolution is lowered to one large matrix multiplication per batch, which is
+the only way to get acceptable throughput out of NumPy.  All functions work on
+``NCHW`` tensors and support stride, symmetric zero padding, and dilation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int, dilation: int = 1) -> int:
+    """Spatial output size of a convolution along one axis."""
+    effective = dilation * (kernel - 1) + 1
+    out = (size + 2 * padding - effective) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size {out} "
+            f"(input={size}, kernel={kernel}, stride={stride}, padding={padding}, dilation={dilation})"
+        )
+    return out
+
+
+def conv_transpose_output_size(
+    size: int, kernel: int, stride: int, padding: int, output_padding: int = 0
+) -> int:
+    """Spatial output size of a transposed convolution along one axis."""
+    out = (size - 1) * stride - 2 * padding + kernel + output_padding
+    if out <= 0:
+        raise ValueError(
+            f"transposed convolution produces non-positive output size {out} "
+            f"(input={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def _im2col_indices(
+    channels: int,
+    kernel_h: int,
+    kernel_w: int,
+    out_h: int,
+    out_w: int,
+    stride: int,
+    dilation: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Index arrays mapping (channel*kh*kw, out_h*out_w) patch entries to the padded input."""
+    i0 = np.repeat(np.arange(kernel_h) * dilation, kernel_w)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel_w) * dilation, kernel_h * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    return k, i, j
+
+
+def im2col(
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> np.ndarray:
+    """Unfold sliding patches of ``x`` into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(N, C * kernel_h * kernel_w, out_h * out_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding, dilation)
+    out_w = conv_output_size(w, kernel_w, stride, padding, dilation)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
+    k, i, j = _im2col_indices(c, kernel_h, kernel_w, out_h, out_w, stride, dilation)
+    cols = x[:, k, i, j]
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> np.ndarray:
+    """Fold columns back into an image, accumulating overlapping patches.
+
+    This is the adjoint of :func:`im2col`; it is used both for convolution
+    backward passes and for the forward pass of transposed convolutions.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding, dilation)
+    out_w = conv_output_size(w, kernel_w, stride, padding, dilation)
+    expected = (n, c * kernel_h * kernel_w, out_h * out_w)
+    if cols.shape != expected:
+        raise ValueError(f"col2im expected columns of shape {expected}, got {cols.shape}")
+    h_padded, w_padded = h + 2 * padding, w + 2 * padding
+    k, i, j = _im2col_indices(c, kernel_h, kernel_w, out_h, out_w, stride, dilation)
+    # Scatter-add via bincount over flattened indices: orders of magnitude
+    # faster than np.add.at for the large index arrays convolutions produce.
+    per_image = c * h_padded * w_padded
+    base_index = (k * h_padded + i) * w_padded + j  # (c*kh*kw, out_h*out_w)
+    offsets = np.arange(n) * per_image
+    flat_index = (offsets[:, None, None] + base_index[None, :, :]).ravel()
+    flat = np.bincount(flat_index, weights=cols.ravel(), minlength=n * per_image)
+    x_padded = flat.reshape(n, c, h_padded, w_padded)
+    if padding > 0:
+        return x_padded[:, :, padding:-padding, padding:-padding]
+    return x_padded
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    negative = ~positive
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[negative])
+    out[negative] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def log_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(sigmoid(x))``."""
+    return np.where(x >= 0, -np.log1p(np.exp(-np.abs(x))), x - np.log1p(np.exp(-np.abs(x))))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)

@@ -1,0 +1,230 @@
+"""2-D convolution and transposed convolution layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.functional import (
+    col2im,
+    conv_output_size,
+    conv_transpose_output_size,
+    im2col,
+)
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+KernelSize = Union[int, Tuple[int, int]]
+
+
+def _pair(value: KernelSize) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs with stride, padding, and dilation.
+
+    The weight has shape ``(out_channels, in_channels, kernel_h, kernel_w)``.
+    The forward pass lowers the convolution to a batched matrix multiplication
+    via im2col; the backward pass computes input, weight, and bias gradients
+    and returns the input gradient.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: KernelSize,
+        stride: int = 1,
+        padding: int = 0,
+        dilation: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("in_channels and out_channels must be positive")
+        if stride <= 0 or dilation <= 0 or padding < 0:
+            raise ValueError("stride and dilation must be positive, padding non-negative")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.dilation = int(dilation)
+        kh, kw = self.kernel_size
+        weight_shape = (out_channels, in_channels, kh, kw)
+        self.weight = Parameter(init.kaiming_uniform(weight_shape, rng), name="weight")
+        self.use_bias = bool(bias)
+        if self.use_bias:
+            fan_in = in_channels * kh * kw
+            self.bias = Parameter(init.uniform_bias((out_channels,), fan_in, rng), name="bias")
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int], Tuple[int, int]]] = None
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int]:
+        """Spatial output shape for an input of ``height x width``."""
+        kh, kw = self.kernel_size
+        out_h = conv_output_size(height, kh, self.stride, self.padding, self.dilation)
+        out_w = conv_output_size(width, kw, self.stride, self.padding, self.dilation)
+        return out_h, out_w
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected input of shape (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n, _, h, w = x.shape
+        kh, kw = self.kernel_size
+        out_h, out_w = self.output_shape(h, w)
+        cols = im2col(x, kh, kw, self.stride, self.padding, self.dilation)
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        out = np.matmul(weight_matrix, cols)
+        out = out.reshape(n, self.out_channels, out_h, out_w)
+        if self.use_bias:
+            out += self.bias.data.reshape(1, -1, 1, 1)
+        self._cache = (cols, x.shape, (out_h, out_w))
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("Conv2d.backward called before forward")
+        cols, x_shape, (out_h, out_w) = self._cache
+        n = x_shape[0]
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_flat = grad_output.reshape(n, self.out_channels, out_h * out_w)
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+
+        grad_weight = np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0)
+        self.weight.grad += grad_weight.reshape(self.weight.data.shape)
+        if self.use_bias:
+            self.bias.grad += grad_flat.sum(axis=(0, 2))
+
+        grad_cols = np.matmul(weight_matrix.T, grad_flat)
+        kh, kw = self.kernel_size
+        grad_input = col2im(
+            grad_cols, x_shape, kh, kw, self.stride, self.padding, self.dilation
+        )
+        return grad_input
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, dilation={self.dilation})"
+        )
+
+
+class ConvTranspose2d(Module):
+    """2-D transposed (fractionally-strided) convolution over NCHW inputs.
+
+    The weight has shape ``(in_channels, out_channels, kernel_h, kernel_w)``
+    following the PyTorch convention.  The forward pass is implemented as the
+    adjoint of :class:`Conv2d` via col2im, which makes the layer exactly the
+    upsampling operator used by encoder/decoder routability models such as
+    RouteNet.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: KernelSize,
+        stride: int = 1,
+        padding: int = 0,
+        output_padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("in_channels and out_channels must be positive")
+        if stride <= 0 or padding < 0 or output_padding < 0:
+            raise ValueError("stride must be positive; paddings must be non-negative")
+        if output_padding >= stride:
+            raise ValueError("output_padding must be smaller than stride")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.output_padding = int(output_padding)
+        kh, kw = self.kernel_size
+        weight_shape = (in_channels, out_channels, kh, kw)
+        self.weight = Parameter(init.kaiming_uniform(weight_shape, rng), name="weight")
+        self.use_bias = bool(bias)
+        if self.use_bias:
+            fan_in = in_channels * kh * kw
+            self.bias = Parameter(init.uniform_bias((out_channels,), fan_in, rng), name="bias")
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int]:
+        """Spatial output shape for an input of ``height x width``."""
+        kh, kw = self.kernel_size
+        out_h = conv_transpose_output_size(height, kh, self.stride, self.padding, self.output_padding)
+        out_w = conv_transpose_output_size(width, kw, self.stride, self.padding, self.output_padding)
+        return out_h, out_w
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"ConvTranspose2d expected input of shape (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n, _, h, w = x.shape
+        kh, kw = self.kernel_size
+        out_h, out_w = self.output_shape(h, w)
+        x_flat = x.reshape(n, self.in_channels, h * w)
+        weight_matrix = self.weight.data.reshape(self.in_channels, -1)
+        cols = np.matmul(weight_matrix.T, x_flat)
+        out = col2im(
+            cols,
+            (n, self.out_channels, out_h, out_w),
+            kh,
+            kw,
+            self.stride,
+            self.padding,
+            dilation=1,
+        )
+        if self.use_bias:
+            out += self.bias.data.reshape(1, -1, 1, 1)
+        self._cache = (x_flat, (n, self.out_channels, out_h, out_w))
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("ConvTranspose2d.backward called before forward")
+        x_flat, out_shape = self._cache
+        n, _, out_h, out_w = out_shape
+        kh, kw = self.kernel_size
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_cols = im2col(grad_output, kh, kw, self.stride, self.padding, dilation=1)
+
+        grad_weight = np.matmul(x_flat, grad_cols.transpose(0, 2, 1)).sum(axis=0)
+        self.weight.grad += grad_weight.reshape(self.weight.data.shape)
+        if self.use_bias:
+            self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+
+        weight_matrix = self.weight.data.reshape(self.in_channels, -1)
+        grad_input_flat = np.matmul(weight_matrix, grad_cols)
+        # Recover the original spatial size from the cached flat input.
+        total = x_flat.shape[2]
+        in_h = self._input_height(out_h)
+        in_w = total // in_h
+        grad_input = grad_input_flat.reshape(n, self.in_channels, in_h, in_w)
+        return grad_input
+
+    def _input_height(self, out_h: int) -> int:
+        kh, _ = self.kernel_size
+        return (out_h + 2 * self.padding - kh - self.output_padding) // self.stride + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConvTranspose2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+        )

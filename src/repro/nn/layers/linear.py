@@ -1,0 +1,77 @@
+"""Dense (fully-connected) layer and flattening helper."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b`` over the last axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng), name="weight"
+        )
+        self.use_bias = bool(bias)
+        if self.use_bias:
+            self.bias = Parameter(init.uniform_bias((out_features,), in_features, rng), name="bias")
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dimension {self.in_features}, got input shape {x.shape}"
+            )
+        self._input = x
+        out = x @ self.weight.data.T
+        if self.use_bias:
+            out += self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("Linear.backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        flat_grad = grad_output.reshape(-1, self.out_features)
+        flat_input = self._input.reshape(-1, self.in_features)
+        self.weight.grad += flat_grad.T @ flat_input
+        if self.use_bias:
+            self.bias.grad += flat_grad.sum(axis=0)
+        return (grad_output @ self.weight.data).reshape(self._input.shape)
+
+
+class Flatten(Module):
+    """Flattens all dimensions after the batch dimension."""
+
+    def __init__(self):
+        super().__init__()
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("Flatten.backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64).reshape(self._input_shape)

@@ -1,0 +1,97 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Max pooling with a square window."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else int(kernel_size)
+        self.padding = int(padding)
+        self._cache = None
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int]:
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        return out_h, out_w
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        n, c, h, w = x.shape
+        out_h, out_w = self.output_shape(h, w)
+        # Pool each channel independently by treating channels as batch items.
+        reshaped = x.reshape(n * c, 1, h, w)
+        cols = im2col(reshaped, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        argmax = cols.argmax(axis=1)
+        out = np.take_along_axis(cols, argmax[:, None, :], axis=1).squeeze(1)
+        out = out.reshape(n, c, out_h, out_w)
+        self._cache = (argmax, cols.shape, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("MaxPool2d.backward called before forward")
+        argmax, cols_shape, x_shape = self._cache
+        n, c, h, w = x_shape
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_cols = np.zeros(cols_shape, dtype=np.float64)
+        flat_grad = grad_output.reshape(n * c, 1, -1)
+        np.put_along_axis(grad_cols, argmax[:, None, :], flat_grad, axis=1)
+        grad_reshaped = col2im(
+            grad_cols, (n * c, 1, h, w), self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        return grad_reshaped.reshape(n, c, h, w)
+
+
+class AvgPool2d(Module):
+    """Average pooling with a square window."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else int(kernel_size)
+        self.padding = int(padding)
+        self._cache = None
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int]:
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        return out_h, out_w
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        n, c, h, w = x.shape
+        out_h, out_w = self.output_shape(h, w)
+        reshaped = x.reshape(n * c, 1, h, w)
+        cols = im2col(reshaped, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        out = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+        self._cache = (cols.shape, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("AvgPool2d.backward called before forward")
+        cols_shape, x_shape = self._cache
+        n, c, h, w = x_shape
+        window = self.kernel_size * self.kernel_size
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        flat_grad = grad_output.reshape(n * c, 1, -1) / window
+        grad_cols = np.broadcast_to(flat_grad, cols_shape).copy()
+        grad_reshaped = col2im(
+            grad_cols, (n * c, 1, h, w), self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        return grad_reshaped.reshape(n, c, h, w)

@@ -1,0 +1,75 @@
+"""Upsampling layers: sub-pixel (pixel shuffle) and nearest-neighbour.
+
+Pixel shuffle is the sub-pixel upsampling block used by PROS-style
+routability estimators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class PixelShuffle(Module):
+    """Rearranges ``(N, C*r^2, H, W)`` into ``(N, C, H*r, W*r)``."""
+
+    def __init__(self, upscale_factor: int):
+        super().__init__()
+        if upscale_factor <= 0:
+            raise ValueError(f"upscale_factor must be positive, got {upscale_factor}")
+        self.upscale_factor = int(upscale_factor)
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        n, c, h, w = x.shape
+        r = self.upscale_factor
+        if c % (r * r) != 0:
+            raise ValueError(
+                f"PixelShuffle requires channels divisible by {r * r}, got {c}"
+            )
+        self._input_shape = x.shape
+        c_out = c // (r * r)
+        x = x.reshape(n, c_out, r, r, h, w)
+        x = x.transpose(0, 1, 4, 2, 5, 3)
+        return x.reshape(n, c_out, h * r, w * r)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("PixelShuffle.backward called before forward")
+        n, c, h, w = self._input_shape
+        r = self.upscale_factor
+        c_out = c // (r * r)
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad = grad_output.reshape(n, c_out, h, r, w, r)
+        grad = grad.transpose(0, 1, 3, 5, 2, 4)
+        return grad.reshape(n, c, h, w)
+
+
+class NearestUpsample2d(Module):
+    """Nearest-neighbour spatial upsampling by an integer factor."""
+
+    def __init__(self, scale_factor: int):
+        super().__init__()
+        if scale_factor <= 0:
+            raise ValueError(f"scale_factor must be positive, got {scale_factor}")
+        self.scale_factor = int(scale_factor)
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._input_shape = x.shape
+        s = self.scale_factor
+        return x.repeat(s, axis=2).repeat(s, axis=3)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("NearestUpsample2d.backward called before forward")
+        n, c, h, w = self._input_shape
+        s = self.scale_factor
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad = grad_output.reshape(n, c, h, s, w, s)
+        return grad.sum(axis=(3, 5))

@@ -1,0 +1,164 @@
+"""Optimizers: SGD (with momentum) and Adam, both with decoupled-from-loss
+L2 regularization (weight decay), matching the paper's training setup
+(Adam, learning rate 2e-4, L2 strength 1e-5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Optimizer:
+    """Base optimizer over an explicit list of parameters."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _regularized_grad(self, param: Parameter) -> np.ndarray:
+        if self.weight_decay:
+            return param.grad + self.weight_decay * param.data
+        return param.grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for index, param in enumerate(self.parameters):
+            grad = self._regularized_grad(param)
+            if self.momentum:
+                velocity = self._velocity.get(index)
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[index] = velocity
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._step_count = 0
+        self._first_moment: Dict[int, np.ndarray] = {}
+        self._second_moment: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for index, param in enumerate(self.parameters):
+            grad = self._regularized_grad(param)
+            m = self._first_moment.get(index)
+            v = self._second_moment.get(index)
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+            self._first_moment[index] = m
+            self._second_moment[index] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset_state(self) -> None:
+        """Drop accumulated moments (used when a fresh round re-initializes training)."""
+        self._step_count = 0
+        self._first_moment.clear()
+        self._second_moment.clear()
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping.  Used by differentially-private local
+    training (update clipping) and as a general stabilizer for the deeper
+    estimators under federated aggregation.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    parameters = list(parameters)
+    total = 0.0
+    for param in parameters:
+        total += float(np.sum(param.grad**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for param in parameters:
+            param.grad *= scale
+    return norm
+
+
+def clip_grad_value(parameters: Sequence[Parameter], max_value: float) -> None:
+    """Clamp every gradient element into ``[-max_value, max_value]`` in place."""
+    if max_value <= 0:
+        raise ValueError(f"max_value must be positive, got {max_value}")
+    for param in parameters:
+        np.clip(param.grad, -max_value, max_value, out=param.grad)
+
+
+def make_optimizer(
+    name: str,
+    parameters: Sequence[Parameter],
+    lr: float,
+    weight_decay: float = 0.0,
+    momentum: float = 0.9,
+) -> Optimizer:
+    """Factory mapping configuration strings to optimizer instances."""
+    name = name.lower()
+    if name == "sgd":
+        return SGD(parameters, lr=lr, momentum=momentum, weight_decay=weight_decay)
+    if name == "adam":
+        return Adam(parameters, lr=lr, weight_decay=weight_decay)
+    raise ValueError(f"unknown optimizer {name!r}; expected 'sgd' or 'adam'")

@@ -1,0 +1,59 @@
+"""Trainable parameters for the NumPy neural-network substrate."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an associated gradient buffer.
+
+    Attributes
+    ----------
+    data:
+        The parameter values, a ``float64`` NumPy array.
+    grad:
+        Accumulated gradient of the loss with respect to ``data``.  It is
+        always allocated with the same shape as ``data`` and reset to zero by
+        :meth:`zero_grad` (called by optimizers / modules between steps).
+    name:
+        Optional dotted name assigned when the parameter is registered in a
+        module hierarchy; used for state dicts and per-parameter policies
+        (e.g. FedProx-LG global/local partitioning).
+    """
+
+    def __init__(self, data: np.ndarray, name: Optional[str] = None):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient buffer to zeros in place."""
+        self.grad.fill(0.0)
+
+    def copy_(self, values: np.ndarray) -> None:
+        """Copy ``values`` into the parameter in place (shape-checked)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.data.shape:
+            raise ValueError(
+                f"cannot copy array of shape {values.shape} into parameter "
+                f"{self.name or '<unnamed>'} of shape {self.data.shape}"
+            )
+        np.copyto(self.data, values)
+
+    def clone(self) -> np.ndarray:
+        """Return a defensive copy of the parameter values."""
+        return self.data.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"

@@ -1,0 +1,168 @@
+"""Learning-rate schedulers.
+
+The paper trains with a fixed learning rate (2e-4, Adam), but schedulers are
+a standard part of the local-training toolbox — the local fine-tuning stage
+in particular benefits from decaying the rate as it adapts the global model
+to a client — so the substrate provides the usual schedules on top of any
+:class:`~repro.nn.optim.Optimizer`.
+
+Every scheduler mutates ``optimizer.lr`` in place when :meth:`step` is
+called, mirroring the familiar PyTorch contract (``step`` once per epoch or
+per round, depending on how the caller counts).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: tracks the step count and the optimizer's initial rate."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.last_step = 0
+
+    def get_lr(self, step: int) -> float:
+        """Learning rate that should be active at ``step`` (0 = before any step)."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and apply the new learning rate to the optimizer."""
+        self.last_step += 1
+        new_lr = float(self.get_lr(self.last_step))
+        if new_lr <= 0:
+            raise RuntimeError(f"{self.__class__.__name__} produced non-positive lr {new_lr}")
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    @property
+    def current_lr(self) -> float:
+        return float(self.optimizer.lr)
+
+    def reset(self) -> None:
+        """Return to the initial schedule state and restore the base rate."""
+        self.last_step = 0
+        self.optimizer.lr = self.base_lr
+
+
+class ConstantLR(LRScheduler):
+    """Keeps the learning rate fixed (the paper's configuration)."""
+
+    def get_lr(self, step: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def get_lr(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every step."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.99):
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.gamma = float(gamma)
+
+    def get_lr(self, step: int) -> float:
+        return self.base_lr * self.gamma**step
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        if min_lr < 0:
+            raise ValueError(f"min_lr must be non-negative, got {min_lr}")
+        if min_lr > optimizer.lr:
+            raise ValueError("min_lr must not exceed the optimizer's initial rate")
+        self.total_steps = int(total_steps)
+        self.min_lr = float(min_lr)
+
+    def get_lr(self, step: int) -> float:
+        progress = min(step, self.total_steps) / self.total_steps
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupLR(LRScheduler):
+    """Linear warm-up to the base rate, then hand off to an inner schedule.
+
+    The first ``warmup_steps`` steps ramp the rate linearly from
+    ``base_lr / warmup_steps`` to ``base_lr``; afterwards the wrapped
+    scheduler (or a constant rate when none is given) takes over with its own
+    step count starting at zero.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, after: Optional[LRScheduler] = None):
+        super().__init__(optimizer)
+        if warmup_steps <= 0:
+            raise ValueError(f"warmup_steps must be positive, got {warmup_steps}")
+        if after is not None and after.optimizer is not optimizer:
+            raise ValueError("the wrapped scheduler must drive the same optimizer")
+        self.warmup_steps = int(warmup_steps)
+        self.after = after
+
+    def get_lr(self, step: int) -> float:
+        if step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        if self.after is None:
+            return self.base_lr
+        return self.after.get_lr(step - self.warmup_steps)
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` at each of the given milestones."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1):
+        super().__init__(optimizer)
+        steps: List[int] = sorted(int(m) for m in milestones)
+        if not steps or steps[0] <= 0:
+            raise ValueError("milestones must be positive step indices")
+        if len(set(steps)) != len(steps):
+            raise ValueError("milestones must be distinct")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.milestones = steps
+        self.gamma = float(gamma)
+
+    def get_lr(self, step: int) -> float:
+        passed = sum(1 for milestone in self.milestones if step >= milestone)
+        return self.base_lr * self.gamma**passed
+
+
+def make_scheduler(name: str, optimizer: Optimizer, **kwargs) -> LRScheduler:
+    """Factory mapping configuration strings to scheduler instances."""
+    registry = {
+        "constant": ConstantLR,
+        "step": StepLR,
+        "exponential": ExponentialLR,
+        "cosine": CosineAnnealingLR,
+        "warmup": WarmupLR,
+        "multistep": MultiStepLR,
+    }
+    key = name.lower()
+    if key not in registry:
+        raise ValueError(f"unknown scheduler {name!r}; expected one of {sorted(registry)}")
+    return registry[key](optimizer, **kwargs)

@@ -1,0 +1,19 @@
+"""Shared utilities: seeding, validation helpers, and lightweight logging."""
+
+from repro.utils.rng import SeedSequenceFactory, new_rng, spawn_rngs
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "SeedSequenceFactory",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "check_shape",
+]

@@ -1,0 +1,59 @@
+"""Small argument-validation helpers used across the library.
+
+These helpers raise ``ValueError`` with consistent, descriptive messages so
+call sites stay one line long and error messages stay uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number, allow_zero: bool = False) -> Number:
+    """Validate that ``value`` is positive (or non-negative if ``allow_zero``)."""
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: Number) -> Number:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= float(value) <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: Number, low: Number, high: Number) -> Number:
+    """Validate that ``value`` lies in the closed interval [low, high]."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, expected: Tuple[int, ...]) -> np.ndarray:
+    """Validate an array's shape; ``-1`` entries in ``expected`` are wildcards."""
+    actual = np.asarray(array).shape
+    if len(actual) != len(expected):
+        raise ValueError(
+            f"{name} must have {len(expected)} dimensions {expected}, got shape {actual}"
+        )
+    for axis, (got, want) in enumerate(zip(actual, expected)):
+        if want != -1 and got != want:
+            raise ValueError(
+                f"{name} has shape {actual}, expected {expected} (mismatch at axis {axis})"
+            )
+    return array
+
+
+def check_choice(name: str, value: str, choices: Sequence[str]) -> str:
+    """Validate that ``value`` is one of ``choices``."""
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {sorted(choices)}, got {value!r}")
+    return value

@@ -1,0 +1,107 @@
+"""Shared fixtures for the test suite.
+
+Fixtures that synthesize EDA data are session-scoped and deliberately tiny
+(small ISCAS'89-style designs, 16x16 grids) so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import PlacementSample, RoutabilityDataset
+from repro.eda import maps as map_ext
+from repro.eda.benchmarks import generate_design
+from repro.eda.drc import DrcHotspotLabeler
+from repro.eda.placement import PlacementConfig, Placer, sweep_placements
+from repro.features.extraction import FeatureExtractor
+
+GRID = 16
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_design():
+    """A small ISCAS'89-style design (fast to place and analyze)."""
+    return generate_design("iscas89", "fixture_design", seed=11, cell_count=320)
+
+
+@pytest.fixture(scope="session")
+def small_placement(small_design):
+    """One placement of the small design on a 16x16 grid."""
+    placer = Placer()
+    config = PlacementConfig(grid_width=GRID, grid_height=GRID, utilization=0.72, seed=3)
+    return placer.place(small_design, config)
+
+
+@pytest.fixture(scope="session")
+def analysis_maps(small_placement):
+    """Pre-computed analysis maps of the small placement."""
+    return map_ext.all_maps(small_placement)
+
+
+@pytest.fixture(scope="session")
+def macro_placement():
+    """A placement of an ISPD'15-style design containing macros."""
+    design = generate_design("ispd15", "fixture_macro_design", seed=5, cell_count=1900)
+    placer = Placer()
+    config = PlacementConfig(grid_width=GRID, grid_height=GRID, utilization=0.55, seed=7)
+    return placer.place(design, config)
+
+
+def _build_dataset(suite: str, design_seed: int, n_designs: int, placements_per_design: int, name: str):
+    extractor = FeatureExtractor()
+    labeler = DrcHotspotLabeler(label_seed=1)
+    dataset = RoutabilityDataset(name=name)
+    for d in range(n_designs):
+        design = generate_design(suite, f"{name}_d{d}", seed=design_seed + d, cell_count=300)
+        placements = sweep_placements(
+            design, count=placements_per_design, grid_width=GRID, grid_height=GRID, base_seed=d
+        )
+        for index, placement in enumerate(placements):
+            analysis = map_ext.all_maps(placement)
+            features = extractor.extract(placement, analysis)
+            drc = labeler.label(placement, precomputed_maps=analysis)
+            dataset.add(
+                PlacementSample(
+                    features=features,
+                    label=drc.hotspots,
+                    design_name=design.name,
+                    suite=suite,
+                    placement_index=index,
+                )
+            )
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_train_dataset():
+    """A small training dataset: 2 ISCAS'89-style designs x 3 placements."""
+    return _build_dataset("iscas89", design_seed=100, n_designs=2, placements_per_design=3, name="tiny_train")
+
+
+@pytest.fixture(scope="session")
+def tiny_test_dataset():
+    """A small test dataset: 2 different designs x 2 placements."""
+    return _build_dataset("iscas89", design_seed=200, n_designs=2, placements_per_design=2, name="tiny_test")
+
+
+@pytest.fixture(scope="session")
+def tiny_train_dataset_itc():
+    """A second-suite training dataset to exercise heterogeneity-sensitive paths."""
+    return _build_dataset("itc99", design_seed=300, n_designs=2, placements_per_design=3, name="tiny_train_itc")
+
+
+@pytest.fixture(scope="session")
+def tiny_test_dataset_itc():
+    return _build_dataset("itc99", design_seed=400, n_designs=1, placements_per_design=2, name="tiny_test_itc")
+
+
+@pytest.fixture(scope="session")
+def num_channels(tiny_train_dataset):
+    return tiny_train_dataset.num_channels

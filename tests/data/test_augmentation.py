@@ -1,0 +1,180 @@
+"""Tests for D4 geometric augmentation of routability samples."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.augmentation import (
+    D4_SYMMETRIES,
+    RandomAugmenter,
+    apply_symmetry,
+    augment_dataset,
+    augment_sample,
+    symmetry_name,
+)
+from repro.data.dataset import PlacementSample, RoutabilityDataset
+
+
+def _sample(size=8, channels=3, seed=0, suite="iscas89"):
+    rng = np.random.default_rng(seed)
+    features = rng.random((channels, size, size))
+    label = (rng.random((size, size)) > 0.8).astype(float)
+    return PlacementSample(
+        features=features, label=label, design_name=f"d{seed}", suite=suite, placement_index=seed
+    )
+
+
+def _dataset(n=3):
+    return RoutabilityDataset([_sample(seed=i) for i in range(n)], name="aug_test")
+
+
+class TestApplySymmetry:
+    def test_identity(self):
+        array = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_array_equal(apply_symmetry(array, 0, False), array)
+
+    def test_rotation_matches_rot90(self):
+        array = np.arange(16.0).reshape(4, 4)
+        np.testing.assert_array_equal(apply_symmetry(array, 1, False), np.rot90(array))
+
+    def test_flip_then_rotate_order(self):
+        array = np.arange(16.0).reshape(4, 4)
+        expected = np.rot90(np.flip(array, axis=-1), k=1)
+        np.testing.assert_array_equal(apply_symmetry(array, 1, True), expected)
+
+    def test_channel_axis_untouched(self):
+        array = np.arange(2 * 3 * 3, dtype=float).reshape(2, 3, 3)
+        rotated = apply_symmetry(array, 2, False)
+        for channel in range(2):
+            np.testing.assert_array_equal(rotated[channel], np.rot90(array[channel], k=2))
+
+    def test_rejects_one_dimensional_input(self):
+        with pytest.raises(ValueError):
+            apply_symmetry(np.arange(5.0), 1, False)
+
+    @given(st.integers(min_value=0, max_value=7), st.booleans())
+    @settings(max_examples=32, deadline=None)
+    def test_four_rotations_compose_to_identity(self, rotations, flip):
+        array = np.random.default_rng(0).random((5, 5))
+        result = apply_symmetry(array, rotations, flip)
+        inverse = apply_symmetry(result, (4 - rotations % 4) % 4, False)
+        if flip:
+            inverse = np.flip(inverse, axis=-1)
+        np.testing.assert_allclose(inverse, array)
+
+
+class TestSymmetryName:
+    def test_names(self):
+        assert symmetry_name(0, False) == "rot0"
+        assert symmetry_name(1, True) == "rot90_flip"
+        assert symmetry_name(6, False) == "rot180"
+
+
+class TestAugmentSample:
+    def test_features_and_label_transformed_consistently(self):
+        sample = _sample()
+        augmented = augment_sample(sample, 1, True)
+        np.testing.assert_array_equal(augmented.label, apply_symmetry(sample.label, 1, True))
+        np.testing.assert_array_equal(augmented.features, apply_symmetry(sample.features, 1, True))
+
+    def test_hotspot_fraction_preserved(self):
+        sample = _sample(seed=3)
+        for rotations, flip in D4_SYMMETRIES:
+            augmented = augment_sample(sample, rotations, flip)
+            assert augmented.hotspot_fraction == pytest.approx(sample.hotspot_fraction)
+
+    def test_provenance_preserved(self):
+        sample = _sample(seed=5, suite="ispd15")
+        augmented = augment_sample(sample, 2, False)
+        assert augmented.design_name == sample.design_name
+        assert augmented.suite == "ispd15"
+        assert augmented.placement_index == sample.placement_index
+
+    def test_non_square_rejects_quarter_rotations(self):
+        rng = np.random.default_rng(0)
+        sample = PlacementSample(
+            features=rng.random((2, 4, 6)),
+            label=(rng.random((4, 6)) > 0.5).astype(float),
+            design_name="rect",
+            suite="itc99",
+            placement_index=0,
+        )
+        with pytest.raises(ValueError, match="square"):
+            augment_sample(sample, 1, False)
+        # 180-degree rotations and flips are fine on rectangles.
+        augment_sample(sample, 2, True)
+
+
+class TestAugmentDataset:
+    def test_multiplies_sample_count(self):
+        dataset = _dataset(3)
+        augmented = augment_dataset(dataset)
+        assert len(augmented) == len(dataset) * len(D4_SYMMETRIES)
+
+    def test_duplicate_symmetries_collapsed(self):
+        dataset = _dataset(2)
+        augmented = augment_dataset(dataset, symmetries=[(1, False), (5, False), (1, False)])
+        assert len(augmented) == len(dataset)
+
+    def test_include_original_adds_identity(self):
+        dataset = _dataset(2)
+        augmented = augment_dataset(dataset, symmetries=[(1, False)], include_original=True)
+        assert len(augmented) == len(dataset) * 2
+        np.testing.assert_array_equal(augmented[0].features, dataset[0].features)
+
+    def test_empty_symmetries_rejected(self):
+        with pytest.raises(ValueError):
+            augment_dataset(_dataset(1), symmetries=[])
+
+    def test_name_default_and_override(self):
+        dataset = _dataset(1)
+        assert augment_dataset(dataset).name == "aug_test/augmented"
+        assert augment_dataset(dataset, name="custom").name == "custom"
+
+    def test_channel_count_preserved(self):
+        dataset = _dataset(2)
+        augmented = augment_dataset(dataset)
+        assert augmented.num_channels == dataset.num_channels
+
+
+class TestRandomAugmenter:
+    def test_deterministic_given_seed(self):
+        sample = _sample(seed=7)
+        a = RandomAugmenter(seed=11)(sample)
+        b = RandomAugmenter(seed=11)(sample)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_only_configured_symmetries_used(self):
+        sample = _sample(seed=9)
+        augmenter = RandomAugmenter(symmetries=[(2, False)], seed=0)
+        augmented = augmenter(sample)
+        np.testing.assert_array_equal(augmented.label, apply_symmetry(sample.label, 2, False))
+
+    def test_batch_augmentation_shapes(self):
+        rng = np.random.default_rng(0)
+        features = rng.random((5, 3, 8, 8))
+        labels = (rng.random((5, 1, 8, 8)) > 0.5).astype(float)
+        out_features, out_labels = RandomAugmenter(seed=1).augment_batch(features, labels)
+        assert out_features.shape == features.shape
+        assert out_labels.shape == labels.shape
+
+    def test_batch_feature_label_consistency(self):
+        """The same transform must be applied to a sample's features and label."""
+        rng = np.random.default_rng(2)
+        base = rng.random((4, 6, 6))
+        features = np.stack([base, base + 1.0])[:, None].repeat(1, axis=1)
+        # Use the label equal to channel 0 of the features so consistency is checkable.
+        features = rng.random((6, 2, 6, 6))
+        labels = features[:, 0].copy()
+        out_features, out_labels = RandomAugmenter(seed=3).augment_batch(features, labels)
+        np.testing.assert_allclose(out_features[:, 0], out_labels)
+
+    def test_mismatched_batch_sizes_rejected(self):
+        augmenter = RandomAugmenter(seed=0)
+        with pytest.raises(ValueError):
+            augmenter.augment_batch(np.zeros((2, 1, 4, 4)), np.zeros((3, 4, 4)))
+
+    def test_empty_symmetries_rejected(self):
+        with pytest.raises(ValueError):
+            RandomAugmenter(symmetries=[])

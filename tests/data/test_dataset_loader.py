@@ -1,0 +1,169 @@
+"""Tests for dataset containers and the data loader."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, PlacementSample, RoutabilityDataset, infinite_batches
+
+
+def make_sample(design="d0", suite="iscas89", index=0, grid=8, channels=3, seed=0):
+    rng = np.random.default_rng(seed)
+    label = (rng.random((grid, grid)) > 0.8).astype(float)
+    return PlacementSample(
+        features=rng.random((channels, grid, grid)),
+        label=label,
+        design_name=design,
+        suite=suite,
+        placement_index=index,
+    )
+
+
+def make_dataset(n_designs=4, per_design=3, **kwargs):
+    samples = []
+    for d in range(n_designs):
+        for p in range(per_design):
+            samples.append(make_sample(design=f"d{d}", index=p, seed=d * 10 + p, **kwargs))
+    return RoutabilityDataset(samples, name="unit")
+
+
+class TestPlacementSample:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PlacementSample(np.zeros((3, 8, 8)), np.zeros((4, 4)), "d", "s", 0)
+        with pytest.raises(ValueError):
+            PlacementSample(np.zeros((8, 8)), np.zeros((8, 8)), "d", "s", 0)
+
+    def test_properties(self):
+        sample = make_sample()
+        assert sample.num_channels == 3
+        assert sample.grid_shape == (8, 8)
+        assert 0.0 <= sample.hotspot_fraction <= 1.0
+
+
+class TestRoutabilityDataset:
+    def test_len_and_indexing(self):
+        dataset = make_dataset()
+        assert len(dataset) == 12
+        assert isinstance(dataset[0], PlacementSample)
+
+    def test_arrays(self):
+        dataset = make_dataset()
+        assert dataset.features_array().shape == (12, 3, 8, 8)
+        assert dataset.labels_array().shape == (12, 8, 8)
+
+    def test_design_names_and_suites(self):
+        dataset = make_dataset()
+        assert dataset.design_names() == ["d0", "d1", "d2", "d3"]
+        assert dataset.suites() == ["iscas89"]
+
+    def test_add_rejects_inconsistent_shape(self):
+        dataset = make_dataset()
+        with pytest.raises(ValueError):
+            dataset.add(make_sample(grid=16))
+
+    def test_filter_designs(self):
+        dataset = make_dataset()
+        subset = dataset.filter_designs(["d0", "d2"])
+        assert len(subset) == 6
+        assert set(subset.design_names()) == {"d0", "d2"}
+
+    def test_subset_by_indices(self):
+        dataset = make_dataset()
+        subset = dataset.subset([0, 5, 7])
+        assert len(subset) == 3
+
+    def test_split_by_design_is_disjoint(self):
+        dataset = make_dataset(n_designs=6)
+        train, test = dataset.split_by_design(0.7, np.random.default_rng(0))
+        assert set(train.design_names()).isdisjoint(set(test.design_names()))
+        assert len(train) + len(test) == len(dataset)
+        assert len(train) > 0 and len(test) > 0
+
+    def test_split_requires_two_designs(self):
+        dataset = make_dataset(n_designs=1)
+        with pytest.raises(ValueError):
+            dataset.split_by_design(0.5, np.random.default_rng(0))
+
+    def test_split_fraction_validation(self):
+        dataset = make_dataset()
+        with pytest.raises(ValueError):
+            dataset.split_by_design(1.5, np.random.default_rng(0))
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        dataset = make_dataset()
+        path = dataset.save(tmp_path / "ds")
+        restored = RoutabilityDataset.load(path)
+        assert len(restored) == len(dataset)
+        np.testing.assert_allclose(restored.features_array(), dataset.features_array())
+        np.testing.assert_allclose(restored.labels_array(), dataset.labels_array())
+        assert restored.design_names() == dataset.design_names()
+
+    def test_save_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RoutabilityDataset().save(tmp_path / "empty")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RoutabilityDataset.load(tmp_path / "missing.npz")
+
+    def test_summary(self):
+        summary = make_dataset().summary()
+        assert summary["samples"] == 12
+        assert summary["designs"] == 4
+
+    def test_empty_dataset_accessors_raise(self):
+        empty = RoutabilityDataset()
+        with pytest.raises(ValueError):
+            empty.features_array()
+        with pytest.raises(ValueError):
+            _ = empty.num_channels
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        dataset = make_dataset()
+        loader = DataLoader(dataset, batch_size=5, shuffle=False)
+        features, labels = next(iter(loader))
+        assert features.shape == (5, 3, 8, 8)
+        assert labels.shape == (5, 1, 8, 8)
+
+    def test_number_of_batches(self):
+        dataset = make_dataset()  # 12 samples
+        assert len(DataLoader(dataset, batch_size=5)) == 3
+        assert len(DataLoader(dataset, batch_size=5, drop_last=True)) == 2
+        assert len(DataLoader(dataset, batch_size=4)) == 3
+
+    def test_covers_all_samples(self):
+        dataset = make_dataset()
+        loader = DataLoader(dataset, batch_size=5, shuffle=True, rng=np.random.default_rng(0))
+        total = sum(features.shape[0] for features, _ in loader)
+        assert total == len(dataset)
+
+    def test_shuffle_changes_order(self):
+        dataset = make_dataset()
+        loader_a = DataLoader(dataset, batch_size=12, shuffle=True, rng=np.random.default_rng(1))
+        loader_b = DataLoader(dataset, batch_size=12, shuffle=False)
+        features_a, _ = next(iter(loader_a))
+        features_b, _ = next(iter(loader_b))
+        assert not np.allclose(features_a, features_b)
+
+    def test_sample_batch(self):
+        dataset = make_dataset()
+        loader = DataLoader(dataset, batch_size=4, rng=np.random.default_rng(0))
+        features, labels = loader.sample_batch()
+        assert features.shape[0] == 4 and labels.shape[0] == 4
+
+    def test_infinite_batches_wraps_around(self):
+        dataset = make_dataset()
+        loader = DataLoader(dataset, batch_size=6, rng=np.random.default_rng(0))
+        iterator = infinite_batches(loader)
+        batches = [next(iterator) for _ in range(5)]
+        assert len(batches) == 5
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            DataLoader(RoutabilityDataset(), batch_size=2)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(), batch_size=0)

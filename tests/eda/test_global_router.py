@@ -1,0 +1,248 @@
+"""Tests for the capacity-aware global router and its routing grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eda import maps as map_ext
+from repro.eda.drc import DrcHotspotLabeler
+from repro.eda.global_router import (
+    GlobalRouter,
+    GlobalRouterConfig,
+    RoutingGrid,
+    route_placement,
+)
+
+
+@pytest.fixture(scope="module")
+def routed(small_placement):
+    """One routed solution of the small fixture placement (shared, read-only)."""
+    return route_placement(small_placement)
+
+
+class TestGlobalRouterConfig:
+    def test_defaults_valid(self):
+        GlobalRouterConfig()
+
+    def test_rejects_bad_blockage_factor(self):
+        with pytest.raises(ValueError):
+            GlobalRouterConfig(macro_blockage_factor=1.5)
+
+    def test_rejects_negative_penalties(self):
+        with pytest.raises(ValueError):
+            GlobalRouterConfig(pin_access_cost=-0.1)
+        with pytest.raises(ValueError):
+            GlobalRouterConfig(bend_penalty=-1.0)
+        with pytest.raises(ValueError):
+            GlobalRouterConfig(history_increment=-0.5)
+
+    def test_rejects_nonpositive_overflow_penalty(self):
+        with pytest.raises(ValueError):
+            GlobalRouterConfig(overflow_penalty=0.0)
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ValueError):
+            GlobalRouterConfig(max_ripup_iterations=-1)
+
+
+class TestRoutingGrid:
+    def test_capacity_shapes(self, small_placement):
+        grid = RoutingGrid(small_placement)
+        height, width = small_placement.grid_shape
+        assert grid.capacity_h.shape == (height, width - 1)
+        assert grid.capacity_v.shape == (height - 1, width)
+
+    def test_capacities_positive(self, small_placement):
+        grid = RoutingGrid(small_placement)
+        assert np.all(grid.capacity_h > 0)
+        assert np.all(grid.capacity_v > 0)
+
+    def test_macro_blockage_reduces_capacity(self, macro_placement):
+        blocked = RoutingGrid(macro_placement, GlobalRouterConfig(macro_blockage_factor=0.9))
+        free = RoutingGrid(macro_placement, GlobalRouterConfig(macro_blockage_factor=0.0))
+        assert blocked.capacity_h.sum() < free.capacity_h.sum()
+        assert blocked.capacity_v.sum() < free.capacity_v.sum()
+
+    def test_edge_usage_roundtrip(self, small_placement):
+        grid = RoutingGrid(small_placement)
+        edge = ((0, 0), (0, 1))
+        assert grid.edge_usage(edge) == 0.0
+        grid.add_usage(edge)
+        grid.add_usage(edge)
+        assert grid.edge_usage(edge) == 2.0
+        grid.remove_usage(edge)
+        assert grid.edge_usage(edge) == 1.0
+
+    def test_remove_never_goes_negative(self, small_placement):
+        grid = RoutingGrid(small_placement)
+        edge = ((1, 1), (2, 1))
+        grid.remove_usage(edge)
+        assert grid.edge_usage(edge) == 0.0
+
+    def test_edge_between_is_canonical(self):
+        assert RoutingGrid.edge_between((1, 2), (1, 1)) == ((1, 1), (1, 2))
+        assert RoutingGrid.edge_between((0, 0), (1, 0)) == ((0, 0), (1, 0))
+
+    def test_rejects_non_adjacent_edge(self, small_placement):
+        grid = RoutingGrid(small_placement)
+        with pytest.raises(ValueError):
+            grid.edge_usage(((0, 0), (0, 2)))
+        with pytest.raises(ValueError):
+            grid.edge_usage(((0, 0), (1, 1)))
+
+    def test_cost_increases_with_overflow(self, small_placement):
+        grid = RoutingGrid(small_placement)
+        edge = ((3, 3), (3, 4))
+        base_cost = grid.edge_cost(edge)
+        for _ in range(int(grid.edge_capacity(edge)) + 5):
+            grid.add_usage(edge)
+        assert grid.edge_cost(edge) > base_cost
+
+    def test_history_bump_counts_overflowed_edges(self, small_placement):
+        grid = RoutingGrid(small_placement)
+        edge = ((2, 2), (2, 3))
+        for _ in range(int(grid.edge_capacity(edge)) + 3):
+            grid.add_usage(edge)
+        assert grid.bump_history() == 1
+        assert grid.edge_cost(edge) > 1.0
+
+    def test_overflow_edges_empty_initially(self, small_placement):
+        grid = RoutingGrid(small_placement)
+        assert grid.overflow_edges() == []
+        assert grid.total_overflow() == 0.0
+
+    def test_neighbors_inside_grid(self, small_placement):
+        grid = RoutingGrid(small_placement)
+        assert set(grid.neighbors((0, 0))) == {(0, 1), (1, 0)}
+        interior = grid.neighbors((3, 3))
+        assert len(interior) == 4
+
+    def test_bin_utilization_keys_and_shapes(self, small_placement):
+        grid = RoutingGrid(small_placement)
+        maps = grid.bin_utilization()
+        for key in ("congestion_horizontal", "congestion_vertical", "congestion", "overflow"):
+            assert maps[key].shape == small_placement.grid_shape
+            assert np.all(maps[key] >= 0)
+
+
+class TestPathPrimitives:
+    def test_straight_path_horizontal(self):
+        path = GlobalRouter._straight_path((2, 1), (2, 4))
+        assert path == [(2, 1), (2, 2), (2, 3), (2, 4)]
+
+    def test_straight_path_vertical(self):
+        path = GlobalRouter._straight_path((4, 2), (1, 2))
+        assert path == [(4, 2), (3, 2), (2, 2), (1, 2)]
+
+    def test_l_shapes_are_two_distinct_paths(self):
+        router = GlobalRouter()
+        paths = router._l_shape_paths((0, 0), (3, 3))
+        assert len(paths) == 2
+        assert paths[0] != paths[1]
+        for path in paths:
+            assert path[0] == (0, 0)
+            assert path[-1] == (3, 3)
+            assert len(path) == 7  # Manhattan distance 6 => 7 nodes.
+
+    def test_l_shape_degenerates_for_aligned_pins(self):
+        router = GlobalRouter()
+        paths = router._l_shape_paths((1, 0), (1, 5))
+        assert len(paths) == 1
+
+    def test_maze_route_connects_endpoints(self, small_placement):
+        router = GlobalRouter()
+        grid = RoutingGrid(small_placement)
+        path = router._maze_route((0, 0), (5, 7), grid)
+        assert path[0] == (0, 0)
+        assert path[-1] == (5, 7)
+        for a, b in zip(path[:-1], path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    @given(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_straight_and_l_paths_have_manhattan_length(self, source, target):
+        router = GlobalRouter()
+        manhattan = abs(source[0] - target[0]) + abs(source[1] - target[1])
+        for path in router._l_shape_paths(source, target):
+            assert len(path) == manhattan + 1
+            for a, b in zip(path[:-1], path[1:]):
+                assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+
+class TestRoutingResult:
+    def test_routes_every_multi_bin_net(self, small_placement, routed):
+        pin_bins = GlobalRouter._net_pin_bins(small_placement, routed.grid)
+        assert set(routed.routes) == set(pin_bins)
+
+    def test_segments_connect_pin_bins(self, routed):
+        for route in routed.routes.values():
+            covered = set()
+            for path in route.segments:
+                covered.update(path)
+            for pin_bin in route.pin_bins:
+                assert pin_bin in covered
+
+    def test_segments_are_adjacent_walks(self, routed):
+        for route in routed.routes.values():
+            for path in route.segments:
+                for a, b in zip(path[:-1], path[1:]):
+                    assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_usage_matches_route_edges(self, small_placement, routed):
+        """Grid usage equals the number of route edges crossing each cut."""
+        total_edges = sum(len(route.edges()) for route in routed.routes.values())
+        total_usage = float(routed.grid.usage_h.sum() + routed.grid.usage_v.sum())
+        assert total_usage == pytest.approx(total_edges)
+
+    def test_wirelength_positive(self, routed):
+        assert routed.total_wirelength_bins > 0
+        assert routed.total_wirelength_um > 0
+
+    def test_congestion_maps_compatible_keys(self, routed, small_placement):
+        maps = routed.congestion_maps()
+        reference = map_ext.all_maps(small_placement)
+        assert set(maps) == {"congestion_horizontal", "congestion_vertical", "congestion", "overflow"}
+        assert maps["congestion"].shape == reference["cell_density"].shape
+
+    def test_summary_fields(self, routed):
+        summary = routed.summary()
+        assert summary["nets_routed"] == len(routed.routes)
+        assert summary["wirelength_bins"] == routed.total_wirelength_bins
+        assert summary["overflow_total"] >= 0.0
+
+    def test_negotiation_does_not_increase_overflow(self, routed):
+        assert routed.total_overflow <= routed.initial_overflow + 1e-9
+
+    def test_max_nets_limits_workload(self, small_placement):
+        limited = route_placement(small_placement, max_nets=10)
+        assert len(limited.routes) == 10
+
+    def test_deterministic(self, small_placement):
+        again = route_placement(small_placement)
+        first = route_placement(small_placement)
+        assert first.total_wirelength_bins == again.total_wirelength_bins
+        assert first.total_overflow == pytest.approx(again.total_overflow)
+
+
+class TestRouterDrcIntegration:
+    def test_labeler_accepts_router_source(self, small_placement):
+        labeler = DrcHotspotLabeler(congestion_source="router", label_seed=3)
+        result = labeler.label(small_placement)
+        assert result.hotspots.shape == small_placement.grid_shape
+        assert set(np.unique(result.hotspots)).issubset({0.0, 1.0})
+        assert 0 < result.num_hotspots < result.hotspots.size
+
+    def test_labeler_rejects_unknown_source(self):
+        with pytest.raises(ValueError):
+            DrcHotspotLabeler(congestion_source="oracle")
+
+    def test_router_and_model_labels_correlate(self, small_placement):
+        """Both congestion sources should flag broadly similar regions."""
+        model_scores, _ = DrcHotspotLabeler(label_seed=3).label(small_placement).score, None
+        router_scores = DrcHotspotLabeler(congestion_source="router", label_seed=3).label(small_placement).score
+        correlation = np.corrcoef(model_scores.ravel(), router_scores.ravel())[0, 1]
+        assert correlation > 0.3

@@ -1,0 +1,156 @@
+"""Round-trip tests for the netlist / placement interchange formats."""
+
+import numpy as np
+import pytest
+
+from repro.eda.benchmarks import generate_design
+from repro.eda.io import (
+    DEF_UNITS_PER_MICRON,
+    apply_positions,
+    read_bookshelf_pl,
+    read_design,
+    read_netlist_verilog,
+    read_placement_def,
+    write_bookshelf_pl,
+    write_design,
+    write_netlist_verilog,
+    write_placement_def,
+)
+from repro.eda.placement import PlacementConfig, Placer
+
+
+class TestNetlistVerilogRoundTrip:
+    def test_cells_and_nets_preserved(self, small_design, tmp_path):
+        path = write_netlist_verilog(small_design.netlist, tmp_path / "design.v", suite=small_design.suite)
+        netlist, suite, _ = read_netlist_verilog(path)
+        original = small_design.netlist
+        assert suite == small_design.suite
+        assert netlist.name == original.name
+        assert set(netlist.cells) == set(original.cells)
+        assert set(netlist.nets) == set(original.nets)
+
+    def test_cell_attributes_preserved(self, small_design, tmp_path):
+        path = write_netlist_verilog(small_design.netlist, tmp_path / "design.v")
+        netlist, _, _ = read_netlist_verilog(path)
+        for name, cell in small_design.netlist.cells.items():
+            loaded = netlist.cells[name]
+            assert loaded.width_sites == cell.width_sites
+            assert loaded.height_rows == cell.height_rows
+            assert loaded.is_macro == cell.is_macro
+            assert loaded.is_sequential == cell.is_sequential
+            assert loaded.cluster == cell.cluster
+
+    def test_pin_connectivity_preserved(self, small_design, tmp_path):
+        path = write_netlist_verilog(small_design.netlist, tmp_path / "design.v")
+        netlist, _, _ = read_netlist_verilog(path)
+        for name, net in small_design.netlist.nets.items():
+            loaded = netlist.nets[name]
+            assert {(p.cell_name, p.pin_name, p.direction) for p in loaded.pins} == {
+                (p.cell_name, p.pin_name, p.direction) for p in net.pins
+            }
+
+    def test_loaded_netlist_validates(self, small_design, tmp_path):
+        path = write_netlist_verilog(small_design.netlist, tmp_path / "design.v")
+        netlist, _, _ = read_netlist_verilog(path)
+        netlist.validate()
+
+
+class TestDesignRoundTrip:
+    def test_design_round_trip(self, small_design, tmp_path):
+        path = write_design(small_design, tmp_path / f"{small_design.name}.v")
+        loaded = read_design(path)
+        assert loaded.name == small_design.name
+        assert loaded.suite == small_design.suite
+        assert loaded.seed == small_design.seed
+        assert loaded.netlist.num_cells == small_design.netlist.num_cells
+
+    def test_unknown_suite_rejected(self, small_design, tmp_path):
+        path = write_netlist_verilog(small_design.netlist, tmp_path / "odd.v", suite="sram_compiler")
+        with pytest.raises(ValueError, match="unknown suite"):
+            read_design(path)
+
+
+class TestPlacementDefRoundTrip:
+    def test_positions_preserved(self, small_placement, tmp_path):
+        path = write_placement_def(small_placement, tmp_path / "design.def")
+        loaded = read_placement_def(path, small_placement.design)
+        assert loaded.cell_names == small_placement.cell_names
+        np.testing.assert_allclose(
+            loaded.positions_um,
+            small_placement.positions_um,
+            atol=1.0 / DEF_UNITS_PER_MICRON,
+        )
+
+    def test_config_and_die_preserved(self, small_placement, tmp_path):
+        path = write_placement_def(small_placement, tmp_path / "design.def")
+        loaded = read_placement_def(path, small_placement.design)
+        assert loaded.config == small_placement.config
+        assert loaded.die_width_um == pytest.approx(small_placement.die_width_um, abs=1e-3)
+        assert loaded.die_height_um == pytest.approx(small_placement.die_height_um, abs=1e-3)
+
+    def test_macro_flags_follow_netlist(self, macro_placement, tmp_path):
+        path = write_placement_def(macro_placement, tmp_path / "macro.def")
+        loaded = read_placement_def(path, macro_placement.design)
+        np.testing.assert_array_equal(loaded.is_macro, macro_placement.is_macro)
+
+    def test_wrong_design_rejected(self, small_placement, tmp_path):
+        path = write_placement_def(small_placement, tmp_path / "design.def")
+        other = generate_design("iscas89", "other_design", seed=99, cell_count=260)
+        with pytest.raises(ValueError, match="not"):
+            read_placement_def(path, other)
+
+    def test_missing_pragma_rejected(self, small_placement, tmp_path):
+        path = write_placement_def(small_placement, tmp_path / "design.def")
+        stripped = "\n".join(
+            line for line in path.read_text().splitlines() if not line.startswith("# repro:placement")
+        )
+        path.write_text(stripped)
+        with pytest.raises(ValueError, match="pragma"):
+            read_placement_def(path, small_placement.design)
+
+
+class TestBookshelfPl:
+    def test_round_trip_positions(self, small_placement, tmp_path):
+        path = write_bookshelf_pl(small_placement, tmp_path / "design.pl")
+        positions = read_bookshelf_pl(path)
+        assert set(positions) == set(small_placement.cell_names)
+        for index, name in enumerate(small_placement.cell_names):
+            assert positions[name][0] == pytest.approx(small_placement.positions_um[index, 0], abs=1e-3)
+            assert positions[name][1] == pytest.approx(small_placement.positions_um[index, 1], abs=1e-3)
+
+    def test_comments_and_header_skipped(self, tmp_path):
+        content = "UCLA pl 1.0\n# a comment\n\ncellA  1.5  2.5 : N\n"
+        path = tmp_path / "tiny.pl"
+        path.write_text(content)
+        assert read_bookshelf_pl(path) == {"cellA": (1.5, 2.5)}
+
+
+class TestApplyPositions:
+    def test_moves_named_cells_only(self, small_placement):
+        name = small_placement.cell_names[0]
+        other = small_placement.cell_names[1]
+        moved = apply_positions(small_placement, {name: (1.0, 2.0)})
+        assert tuple(moved.positions_um[moved.cell_index(name)]) == (1.0, 2.0)
+        np.testing.assert_array_equal(
+            moved.positions_um[moved.cell_index(other)],
+            small_placement.positions_um[small_placement.cell_index(other)],
+        )
+
+    def test_original_untouched(self, small_placement):
+        name = small_placement.cell_names[0]
+        before = small_placement.positions_um[small_placement.cell_index(name)].copy()
+        apply_positions(small_placement, {name: (0.0, 0.0)})
+        np.testing.assert_array_equal(
+            small_placement.positions_um[small_placement.cell_index(name)], before
+        )
+
+    def test_unknown_cell_rejected(self, small_placement):
+        with pytest.raises(ValueError, match="unknown cells"):
+            apply_positions(small_placement, {"no_such_cell": (0.0, 0.0)})
+
+    def test_pl_file_feeds_apply_positions(self, small_placement, tmp_path):
+        """External-tool style flow: dump .pl, read it back, re-apply."""
+        path = write_bookshelf_pl(small_placement, tmp_path / "design.pl")
+        positions = read_bookshelf_pl(path)
+        rebuilt = apply_positions(small_placement, positions)
+        np.testing.assert_allclose(rebuilt.positions_um, small_placement.positions_um, atol=1e-3)

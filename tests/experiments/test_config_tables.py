@@ -1,0 +1,127 @@
+"""Tests for experiment configuration presets and the paper reference tables."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE1_FLNET_ARCHITECTURE,
+    PAPER_TABLE2_SETUP,
+    PAPER_TABLES,
+    TABLE_ALGORITHMS,
+    comparison_table,
+    default,
+    format_rows,
+    paper,
+    paper_average,
+    preset,
+    smoke,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.fl.evaluation import EvaluationRow
+
+
+class TestPresets:
+    def test_paper_preset_hyperparameters(self):
+        config = paper("flnet")
+        assert config.fl.rounds == 50
+        assert config.fl.local_steps == 100
+        assert config.fl.finetune_steps == 5000
+        assert config.corpus.placement_scale == 1.0
+        assert len(config.client_specs) == 9
+
+    def test_default_preset_is_scaled_down(self):
+        config = default("flnet")
+        assert config.fl.rounds < paper().fl.rounds
+        assert config.corpus.placement_scale < 1.0
+        assert config.algorithms == TABLE_ALGORITHMS
+
+    def test_smoke_preset_uses_reduced_roster(self):
+        config = smoke("flnet")
+        assert len(config.client_specs) < 9
+        assert config.fl.rounds <= 2
+
+    def test_preset_lookup(self):
+        assert preset("default", "routenet").model == "routenet"
+        with pytest.raises(ValueError):
+            preset("huge")
+
+    def test_with_model_and_algorithms(self):
+        config = default("flnet").with_model("pros")
+        assert config.model == "pros"
+        reduced = config.with_algorithms(["fedprox"])
+        assert reduced.algorithms == ("fedprox",)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", model="resnet")
+
+    def test_each_preset_targets_all_three_models(self):
+        for model in ("flnet", "routenet", "pros"):
+            assert preset("smoke", model).model == model
+
+
+class TestPaperReferenceTables:
+    def test_tables_exist_for_all_models(self):
+        assert set(PAPER_TABLES) == {"flnet", "routenet", "pros"}
+
+    def test_every_row_has_ten_entries(self):
+        for table in PAPER_TABLES.values():
+            for values in table.values():
+                assert len(values) == 10  # 9 clients + average
+
+    def test_average_column_consistent_with_clients(self):
+        for table in PAPER_TABLES.values():
+            for values in table.values():
+                clients_mean = sum(values[:9]) / 9
+                assert values[9] == pytest.approx(clients_mean, abs=0.011)
+
+    def test_headline_claims_hold_in_reference_data(self):
+        """The paper's qualitative claims are encoded in its own numbers."""
+        flnet = PAPER_TABLES["flnet"]
+        routenet = PAPER_TABLES["routenet"]
+        pros = PAPER_TABLES["pros"]
+        # FedProx with FLNet beats local models; fine-tuning beats FedProx.
+        assert flnet["fedprox"][-1] > flnet["local"][-1]
+        assert flnet["fedprox_finetune"][-1] >= flnet["fedprox"][-1]
+        # Centralized training is the empirical upper bound for FLNet.
+        assert flnet["centralized"][-1] >= flnet["fedprox_finetune"][-1]
+        # RouteNet and PROS degrade below their local baselines under FedProx.
+        assert routenet["fedprox"][-1] < routenet["local"][-1]
+        assert pros["fedprox"][-1] < pros["local"][-1]
+        # FLNet beats both baselines under decentralized training.
+        assert flnet["fedprox"][-1] > routenet["fedprox"][-1]
+        assert flnet["fedprox"][-1] > pros["fedprox"][-1]
+
+    def test_paper_average_lookup(self):
+        assert paper_average("flnet", "fedprox") == pytest.approx(0.78)
+        assert paper_average("routenet", "centralized") == pytest.approx(0.83)
+
+    def test_table1_architecture_constants(self):
+        assert PAPER_TABLE1_FLNET_ARCHITECTURE[0]["filters"] == 64
+        assert PAPER_TABLE1_FLNET_ARCHITECTURE[1]["activation"] == "None"
+
+    def test_table2_totals(self):
+        assert len(PAPER_TABLE2_SETUP) == 9
+        total_designs = sum(r["train_designs"] + r["test_designs"] for r in PAPER_TABLE2_SETUP)
+        total_placements = sum(r["train_placements"] + r["test_placements"] for r in PAPER_TABLE2_SETUP)
+        assert total_designs == 74
+        assert total_placements == 7131
+
+
+class TestFormatting:
+    def make_row(self, name="fedprox"):
+        return EvaluationRow(algorithm=name, per_client_auc={1: 0.8, 2: 0.7})
+
+    def test_format_rows_contains_headers_and_values(self):
+        text = format_rows([self.make_row()], title="Table X")
+        assert "Table X" in text
+        assert "Client 1" in text
+        assert "0.800" in text
+        assert "FedProx" in text
+
+    def test_format_rows_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_comparison_table(self):
+        text = comparison_table("flnet", {"fedprox": 0.75, "local": 0.7})
+        assert "paper avg" in text
+        assert "0.78" in text  # the paper's FedProx average for FLNet

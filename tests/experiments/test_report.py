@@ -1,0 +1,103 @@
+"""Tests for the markdown report generator over benchmark results."""
+
+import pytest
+
+from repro.experiments import smoke
+from repro.experiments.report import (
+    RESULT_DESCRIPTIONS,
+    comparison_markdown,
+    load_result_texts,
+    results_report,
+    write_results_report,
+)
+from repro.experiments.runner import AlgorithmOutcome, ExperimentResult
+from repro.fl import TrainingResult
+from repro.fl.evaluation import EvaluationRow
+
+
+def _fake_result(model="flnet"):
+    """An ExperimentResult with hand-written evaluation rows (no training)."""
+    result = ExperimentResult(config=smoke(model))
+    for algorithm, auc in (("local", 0.70), ("fedprox", 0.80), ("dp_fedprox", 0.75)):
+        row = EvaluationRow(algorithm=algorithm, per_client_auc={1: auc, 2: auc + 0.02})
+        result.outcomes.append(
+            AlgorithmOutcome(
+                algorithm=algorithm,
+                evaluation=row,
+                training=TrainingResult(algorithm=algorithm),
+                runtime_seconds=1.0,
+            )
+        )
+    return result
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "table3_flnet.txt").write_text("Table 3 body\nrow\n")
+    (directory / "ablation_privacy.txt").write_text("privacy sweep body\n")
+    (directory / "custom_extra.txt").write_text("extra study body\n")
+    return directory
+
+
+class TestLoadResultTexts:
+    def test_loads_every_txt(self, results_dir):
+        texts = load_result_texts(results_dir)
+        assert set(texts) == {"table3_flnet", "ablation_privacy", "custom_extra"}
+        assert texts["table3_flnet"].startswith("Table 3 body")
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_result_texts(tmp_path / "nope")
+
+
+class TestResultsReport:
+    def test_sections_use_descriptions(self, results_dir):
+        report = results_report(results_dir)
+        assert report.startswith("# Regenerated evaluation artifacts")
+        assert f"## {RESULT_DESCRIPTIONS['table3_flnet']}" in report
+        assert f"## {RESULT_DESCRIPTIONS['ablation_privacy']}" in report
+
+    def test_unknown_files_fall_back_to_stem(self, results_dir):
+        report = results_report(results_dir)
+        assert "## custom_extra" in report
+        assert "extra study body" in report
+
+    def test_bodies_in_code_fences(self, results_dir):
+        report = results_report(results_dir)
+        assert report.count("```text") == 3
+        assert report.count("```") == 6
+
+    def test_empty_directory_message(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        report = results_report(empty)
+        assert "No benchmark results found" in report
+
+    def test_write_results_report(self, results_dir, tmp_path):
+        output = write_results_report(results_dir, tmp_path / "report.md", title="My run")
+        text = output.read_text()
+        assert text.startswith("# My run")
+        assert "Table 3 body" in text
+
+
+class TestComparisonMarkdown:
+    def test_paper_rows_get_reference_values(self):
+        table = comparison_markdown("flnet", _fake_result())
+        assert "| Local Average (b1 to b9) | 0.72 | 0.710 |" in table
+        assert "| FedProx | 0.78 | 0.810 |" in table
+
+    def test_extension_rows_get_dash(self):
+        table = comparison_markdown("flnet", _fake_result())
+        assert "| dp_fedprox | — | 0.760 |" in table
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_markdown("unknown_model", _fake_result())
+
+    def test_header_is_markdown_table(self):
+        table = comparison_markdown("routenet", _fake_result("routenet"))
+        lines = table.splitlines()
+        assert lines[0] == "| Method | Paper avg | Measured avg |"
+        assert lines[1] == "|---|---|---|"

@@ -1,0 +1,163 @@
+"""Tests for communication-cost accounting and update compression."""
+
+import numpy as np
+import pytest
+
+from repro.fl.communication import (
+    BYTES_PER_FLOAT32,
+    CommunicationTracker,
+    compression_error,
+    estimate_communication,
+    quantize_state,
+    state_bytes,
+    state_num_parameters,
+    topk_sparsify,
+)
+from repro.models import FLNet
+
+
+def _state(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "conv.weight": rng.normal(size=(8, 4, 3, 3)),
+        "conv.bias": rng.normal(size=8),
+    }
+
+
+class TestStateSizing:
+    def test_num_parameters(self):
+        state = _state()
+        assert state_num_parameters(state) == 8 * 4 * 3 * 3 + 8
+
+    def test_bytes_at_float32(self):
+        state = _state()
+        assert state_bytes(state) == state_num_parameters(state) * BYTES_PER_FLOAT32
+
+    def test_bytes_validates_precision(self):
+        with pytest.raises(ValueError):
+            state_bytes(_state(), bytes_per_value=0)
+
+    def test_flnet_size_matches_parameter_count(self):
+        model = FLNet(6, seed=0)
+        state = model.state_dict()
+        assert state_num_parameters(state) == sum(p.data.size for _, p in model.named_parameters())
+
+
+class TestEstimateCommunication:
+    def test_fedprox_symmetric_cost(self):
+        report = estimate_communication("fedprox", _state(), num_clients=9, rounds=50)
+        assert report.uplink_bytes_per_round == report.downlink_bytes_per_round
+        assert report.total_bytes == 2 * report.uplink_bytes_per_round * 50
+
+    def test_local_and_centralized_free(self):
+        for name in ("local", "centralized"):
+            report = estimate_communication(name, _state(), num_clients=9, rounds=50)
+            assert report.total_bytes == 0
+
+    def test_lg_cheaper_than_fedprox(self):
+        full = estimate_communication("fedprox", _state(), num_clients=9, rounds=50)
+        partial = estimate_communication("fedprox_lg", _state(), num_clients=9, rounds=50, global_fraction=0.6)
+        assert partial.total_bytes < full.total_bytes
+
+    def test_ifca_downlink_scales_with_clusters(self):
+        few = estimate_communication("ifca", _state(), num_clients=9, rounds=10, num_clusters=2)
+        many = estimate_communication("ifca", _state(), num_clients=9, rounds=10, num_clusters=4)
+        assert many.downlink_bytes_per_round == 2 * few.downlink_bytes_per_round
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_communication("gossip", _state(), num_clients=2, rounds=1)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            estimate_communication("fedprox", _state(), num_clients=0, rounds=1)
+        with pytest.raises(ValueError):
+            estimate_communication("fedprox", _state(), num_clients=2, rounds=1, global_fraction=0.0)
+
+    def test_to_dict(self):
+        report = estimate_communication("fedavg", _state(), num_clients=3, rounds=2)
+        data = report.to_dict()
+        assert data["algorithm"] == "fedavg"
+        assert data["total_bytes"] == report.total_bytes
+
+
+class TestCommunicationTracker:
+    def test_totals_and_breakdowns(self):
+        tracker = CommunicationTracker()
+        state = _state()
+        size = state_bytes(state)
+        tracker.log_download(0, 1, state)
+        tracker.log_upload(0, 1, state)
+        tracker.log_upload(1, 2, state)
+        assert tracker.total_uplink_bytes == 2 * size
+        assert tracker.total_downlink_bytes == size
+        assert tracker.total_bytes == 3 * size
+        assert tracker.per_round() == {0: 2 * size, 1: size}
+        assert tracker.per_client() == {1: 2 * size, 2: size}
+
+
+class TestTopkSparsify:
+    def test_keeps_requested_fraction(self):
+        state = _state(1)
+        result = topk_sparsify(state, keep_fraction=0.1)
+        total = state_num_parameters(state)
+        kept = sum(int(np.count_nonzero(values)) for values in result.state.values())
+        assert kept <= int(0.15 * total)
+        assert result.payload_bytes < result.baseline_bytes
+
+    def test_full_fraction_is_lossless(self):
+        state = _state(2)
+        result = topk_sparsify(state, keep_fraction=1.0)
+        assert compression_error(state, result.state) == pytest.approx(0.0, abs=1e-12)
+
+    def test_keeps_largest_magnitudes(self):
+        state = {"w": np.array([0.01, -5.0, 0.02, 4.0, -0.03])}
+        result = topk_sparsify(state, keep_fraction=0.4)
+        surviving = set(np.flatnonzero(result.state["w"]))
+        assert surviving == {1, 3}
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            topk_sparsify(_state(), keep_fraction=0.0)
+
+    def test_compression_ratio_improves_with_sparsity(self):
+        state = _state(3)
+        aggressive = topk_sparsify(state, keep_fraction=0.05)
+        mild = topk_sparsify(state, keep_fraction=0.5)
+        assert aggressive.compression_ratio > mild.compression_ratio
+
+
+class TestQuantizeState:
+    def test_error_decreases_with_bits(self):
+        state = _state(4)
+        coarse = quantize_state(state, num_bits=2)
+        fine = quantize_state(state, num_bits=12)
+        assert compression_error(state, fine.state) < compression_error(state, coarse.state)
+
+    def test_constant_tensor_exact(self):
+        state = {"w": np.full((4, 4), 3.14)}
+        result = quantize_state(state, num_bits=4)
+        np.testing.assert_allclose(result.state["w"], state["w"])
+
+    def test_values_stay_in_range(self):
+        state = _state(5)
+        result = quantize_state(state, num_bits=6)
+        for name, values in result.state.items():
+            assert values.min() >= state[name].min() - 1e-9
+            assert values.max() <= state[name].max() + 1e-9
+
+    def test_payload_smaller_than_baseline(self):
+        state = _state(6)
+        result = quantize_state(state, num_bits=8)
+        assert result.payload_bytes < result.baseline_bytes
+        assert result.compression_ratio > 1.0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_state(_state(), num_bits=0)
+        with pytest.raises(ValueError):
+            quantize_state(_state(), num_bits=32)
+
+    def test_compression_error_zero_state(self):
+        state = {"w": np.zeros(3)}
+        assert compression_error(state, {"w": np.zeros(3)}) == 0.0

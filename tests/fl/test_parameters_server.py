@@ -1,0 +1,162 @@
+"""Tests for state arithmetic and the federated server's aggregation rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl import FederatedServer
+from repro.fl.parameters import (
+    average_pairwise_distance,
+    check_compatible,
+    clone_state,
+    filter_state,
+    flatten_state,
+    interpolate,
+    merge_partition,
+    state_distance,
+    state_norm,
+    weighted_average,
+    zeros_like_state,
+)
+
+
+def make_state(value, shapes=(("w", (2, 2)), ("b", (3,)))):
+    return {name: np.full(shape, float(value)) for name, shape in shapes}
+
+
+class TestStateArithmetic:
+    def test_clone_is_deep(self):
+        state = make_state(1.0)
+        cloned = clone_state(state)
+        cloned["w"][:] = 9.0
+        assert np.all(state["w"] == 1.0)
+
+    def test_zeros_like(self):
+        zeros = zeros_like_state(make_state(5.0))
+        assert all(np.all(v == 0) for v in zeros.values())
+
+    def test_weighted_average_exact(self):
+        avg = weighted_average([make_state(0.0), make_state(10.0)], [1.0, 3.0])
+        assert np.allclose(avg["w"], 7.5)
+
+    def test_weighted_average_single_state_identity(self):
+        state = make_state(3.3)
+        avg = weighted_average([state], [5.0])
+        assert np.allclose(avg["w"], state["w"])
+
+    def test_weighted_average_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            weighted_average([make_state(1.0)], [0.0])
+        with pytest.raises(ValueError):
+            weighted_average([make_state(1.0), make_state(2.0)], [1.0])
+        with pytest.raises(ValueError):
+            weighted_average([make_state(1.0), make_state(2.0)], [1.0, -1.0])
+
+    def test_incompatible_states_rejected(self):
+        with pytest.raises(ValueError):
+            check_compatible([make_state(1.0), {"w": np.zeros((2, 2))}])
+        with pytest.raises(ValueError):
+            check_compatible([make_state(1.0), {"w": np.zeros((3, 3)), "b": np.zeros(3)}])
+
+    def test_interpolate_endpoints(self):
+        a, b = make_state(1.0), make_state(5.0)
+        assert np.allclose(interpolate(a, b, 1.0)["w"], 1.0)
+        assert np.allclose(interpolate(a, b, 0.0)["w"], 5.0)
+        assert np.allclose(interpolate(a, b, 0.25)["w"], 4.0)
+
+    def test_merge_partition(self):
+        global_state = make_state(1.0)
+        local_state = make_state(9.0)
+        merged = merge_partition(global_state, local_state, ["b"])
+        assert np.all(merged["w"] == 1.0)
+        assert np.all(merged["b"] == 9.0)
+
+    def test_merge_partition_unknown_name(self):
+        with pytest.raises(ValueError):
+            merge_partition(make_state(1.0), make_state(2.0), ["missing"])
+
+    def test_filter_state(self):
+        filtered = filter_state(make_state(2.0), ["w"])
+        assert set(filtered) == {"w"}
+        with pytest.raises(ValueError):
+            filter_state(make_state(2.0), ["nope"])
+
+    def test_distance_and_norm(self):
+        assert state_distance(make_state(1.0), make_state(1.0)) == 0.0
+        expected = np.sqrt(7 * 4.0)  # 7 entries differing by 2
+        assert state_distance(make_state(1.0), make_state(3.0)) == pytest.approx(expected)
+        assert state_norm(zeros_like_state(make_state(1.0))) == 0.0
+
+    def test_flatten_deterministic_order(self):
+        state = {"b": np.array([1.0]), "a": np.array([2.0, 3.0])}
+        np.testing.assert_allclose(flatten_state(state), [2.0, 3.0, 1.0])
+
+    def test_average_pairwise_distance(self):
+        states = [make_state(0.0), make_state(2.0)]
+        assert average_pairwise_distance(states) == pytest.approx(state_distance(*states))
+        assert average_pairwise_distance(states[:1]) == 0.0
+
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_average_bounded_by_extremes(self, values):
+        states = [make_state(v) for v in values]
+        weights = np.ones(len(values))
+        avg = weighted_average(states, weights)
+        assert avg["w"].min() >= min(values) - 1e-9
+        assert avg["w"].max() <= max(values) + 1e-9
+
+    @given(st.floats(0, 1), st.floats(-5, 5), st.floats(-5, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_interpolate_is_convex_combination(self, alpha, a_value, b_value):
+        result = interpolate(make_state(a_value), make_state(b_value), alpha)
+        expected = alpha * a_value + (1 - alpha) * b_value
+        assert np.allclose(result["w"], expected)
+
+
+class TestFederatedServer:
+    def test_aggregate_weighted_by_samples(self):
+        server = FederatedServer()
+        avg = server.aggregate([make_state(0.0), make_state(1.0)], [100, 300])
+        assert np.allclose(avg["w"], 0.75)
+
+    def test_aggregate_partition_only_touches_global(self):
+        server = FederatedServer()
+        partial = server.aggregate_partition([make_state(0.0), make_state(2.0)], [1, 1], ["w"])
+        assert set(partial) == {"w"}
+        assert np.allclose(partial["w"], 1.0)
+
+    def test_merge_global_local(self):
+        server = FederatedServer()
+        merged = server.merge_global_local({"w": np.full((2, 2), 7.0)}, make_state(1.0))
+        assert np.all(merged["w"] == 7.0)
+        assert np.all(merged["b"] == 1.0)
+
+    def test_aggregate_clusters_keeps_empty_clusters(self):
+        server = FederatedServer()
+        previous = {0: make_state(1.0), 1: make_state(5.0)}
+        updated = server.aggregate_clusters(
+            previous, {0: [make_state(3.0)]}, {0: [2.0]}
+        )
+        assert np.allclose(updated[0]["w"], 3.0)
+        assert np.allclose(updated[1]["w"], 5.0)
+
+    def test_alpha_portion_sync_formula(self):
+        server = FederatedServer()
+        states = {1: make_state(0.0), 2: make_state(4.0), 3: make_state(8.0)}
+        weights = {1: 1.0, 2: 1.0, 3: 3.0}
+        mixed = server.alpha_portion_sync(states, weights, alpha=0.5)
+        # Client 1: 0.5*0 + 0.5*((1*4 + 3*8)/4) = 3.5
+        assert np.allclose(mixed[1]["w"], 3.5)
+        # Client 3: 0.5*8 + 0.5*((4+0)/2)=0.5*8+1 = 5.0
+        assert np.allclose(mixed[3]["w"], 5.0)
+
+    def test_alpha_portion_single_client(self):
+        server = FederatedServer()
+        mixed = server.alpha_portion_sync({1: make_state(2.0)}, {1: 1.0}, alpha=0.3)
+        assert np.allclose(mixed[1]["w"], 2.0)
+
+    def test_alpha_validation(self):
+        server = FederatedServer()
+        with pytest.raises(ValueError):
+            server.alpha_portion_sync({1: make_state(1.0)}, {1: 1.0}, alpha=1.5)

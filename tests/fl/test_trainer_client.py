@@ -1,0 +1,179 @@
+"""Tests for the local trainer, the federated client, and the FL config."""
+
+import numpy as np
+import pytest
+
+from repro.fl import FLConfig, FederatedClient, LocalTrainer, predict_dataset, scaled_fl_config
+from repro.fl.config import PAPER_ASSIGNED_CLUSTERS, paper_fl_config
+from repro.fl.parameters import state_distance
+from repro.models import FLNet
+
+
+SMALL_FL_CONFIG = FLConfig(
+    rounds=2,
+    local_steps=2,
+    finetune_steps=3,
+    learning_rate=3e-3,
+    batch_size=2,
+    num_clusters=2,
+    assigned_clusters=((1, 0), (2, 1)),
+    ifca_eval_batches=1,
+)
+
+
+def small_flnet_factory(num_channels):
+    return lambda: FLNet(num_channels, hidden_filters=8, kernel_size=5, seed=0)
+
+
+class TestFLConfig:
+    def test_paper_defaults(self):
+        config = paper_fl_config()
+        assert config.rounds == 50
+        assert config.local_steps == 100
+        assert config.finetune_steps == 5000
+        assert config.learning_rate == pytest.approx(2e-4)
+        assert config.weight_decay == pytest.approx(1e-5)
+        assert config.proximal_mu == pytest.approx(1e-4)
+        assert config.alpha == pytest.approx(0.5)
+        assert config.num_clusters == 4
+        assert config.optimizer == "adam"
+
+    def test_paper_assigned_clusters(self):
+        mapping = paper_fl_config().assigned_cluster_map()
+        assert mapping == PAPER_ASSIGNED_CLUSTERS
+        assert mapping[1] == mapping[2] == mapping[3]
+        assert mapping[9] not in (mapping[1], mapping[4], mapping[7])
+
+    def test_effective_step_budgets(self):
+        config = FLConfig(rounds=5, local_steps=10)
+        assert config.total_federated_steps == 50
+        assert config.effective_centralized_steps == 50
+        assert config.effective_local_steps == 50
+        overridden = FLConfig(rounds=5, local_steps=10, centralized_steps=7, local_steps_total=9)
+        assert overridden.effective_centralized_steps == 7
+        assert overridden.effective_local_steps == 9
+
+    def test_scaled_config_is_valid(self):
+        config = scaled_fl_config()
+        assert config.rounds < 50
+        assert config.learning_rate > 2e-4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FLConfig(rounds=0)
+        with pytest.raises(ValueError):
+            FLConfig(optimizer="lbfgs")
+        with pytest.raises(ValueError):
+            FLConfig(alpha=2.0)
+
+
+class TestLocalTrainer:
+    def test_training_reduces_loss(self, tiny_train_dataset, num_channels):
+        trainer = LocalTrainer(learning_rate=3e-3, batch_size=2, rng=np.random.default_rng(0))
+        model = small_flnet_factory(num_channels)()
+        before = trainer.evaluate_loss(model, tiny_train_dataset)
+        trainer.train_steps(model, tiny_train_dataset, steps=12)
+        after = trainer.evaluate_loss(model, tiny_train_dataset)
+        assert after < before
+
+    def test_step_statistics(self, tiny_train_dataset, num_channels):
+        trainer = LocalTrainer(batch_size=2, rng=np.random.default_rng(0))
+        model = small_flnet_factory(num_channels)()
+        stats = trainer.train_steps(model, tiny_train_dataset, steps=3)
+        assert stats.steps == 3
+        assert np.isfinite(stats.mean_loss) and np.isfinite(stats.final_loss)
+
+    def test_proximal_term_limits_drift(self, tiny_train_dataset, num_channels):
+        """A huge proximal mu keeps the trained model near the reference."""
+        factory = small_flnet_factory(num_channels)
+        reference = factory().state_dict()
+
+        def train_with_mu(mu):
+            trainer = LocalTrainer(learning_rate=5e-3, batch_size=2, rng=np.random.default_rng(1))
+            model = factory()
+            model.load_state_dict(reference)
+            trainer.train_steps(
+                model, tiny_train_dataset, steps=10, proximal_mu=mu, proximal_reference=reference
+            )
+            return state_distance(model.state_dict(), reference)
+
+        assert train_with_mu(10.0) < train_with_mu(0.0)
+
+    def test_proximal_requires_reference(self, tiny_train_dataset, num_channels):
+        trainer = LocalTrainer(batch_size=2)
+        model = small_flnet_factory(num_channels)()
+        with pytest.raises(ValueError):
+            trainer.train_steps(model, tiny_train_dataset, steps=1, proximal_mu=0.1)
+
+    def test_invalid_steps(self, tiny_train_dataset, num_channels):
+        trainer = LocalTrainer(batch_size=2)
+        model = small_flnet_factory(num_channels)()
+        with pytest.raises(ValueError):
+            trainer.train_steps(model, tiny_train_dataset, steps=0)
+
+    def test_predict_dataset_shapes(self, tiny_test_dataset, num_channels):
+        model = small_flnet_factory(num_channels)()
+        scores, labels = predict_dataset(model, tiny_test_dataset, batch_size=3)
+        expected = len(tiny_test_dataset) * np.prod(tiny_test_dataset.grid_shape)
+        assert scores.shape == labels.shape == (expected,)
+
+
+class TestFederatedClient:
+    @pytest.fixture
+    def client(self, tiny_train_dataset, tiny_test_dataset, num_channels):
+        return FederatedClient(
+            client_id=1,
+            train_dataset=tiny_train_dataset,
+            test_dataset=tiny_test_dataset,
+            model_factory=small_flnet_factory(num_channels),
+            config=SMALL_FL_CONFIG,
+        )
+
+    def test_num_samples(self, client, tiny_train_dataset):
+        assert client.num_samples == len(tiny_train_dataset)
+
+    def test_local_train_returns_new_state(self, client, num_channels):
+        initial = small_flnet_factory(num_channels)().state_dict()
+        state, stats = client.local_train(initial, steps=2)
+        assert set(state) == set(initial)
+        assert state_distance(state, initial) > 0
+        assert stats.steps == 2
+
+    def test_fine_tune_moves_parameters(self, client, num_channels):
+        initial = small_flnet_factory(num_channels)().state_dict()
+        state, _ = client.fine_tune(initial, steps=2)
+        assert state_distance(state, initial) > 0
+
+    def test_training_loss_finite(self, client, num_channels):
+        initial = small_flnet_factory(num_channels)().state_dict()
+        assert np.isfinite(client.training_loss(initial))
+
+    def test_evaluate_auc_in_unit_interval(self, client, num_channels):
+        initial = small_flnet_factory(num_channels)().state_dict()
+        auc = client.evaluate_auc(initial)
+        assert 0.0 <= auc <= 1.0
+
+    def test_rejects_empty_training_data(self, tiny_test_dataset, num_channels):
+        from repro.data import RoutabilityDataset
+
+        with pytest.raises(ValueError):
+            FederatedClient(
+                client_id=2,
+                train_dataset=RoutabilityDataset(),
+                test_dataset=tiny_test_dataset,
+                model_factory=small_flnet_factory(num_channels),
+                config=SMALL_FL_CONFIG,
+            )
+
+    def test_from_client_data(self, tiny_train_dataset, tiny_test_dataset, num_channels):
+        from repro.data.clients import ClientData, ClientSpec
+
+        data = ClientData(
+            spec=ClientSpec(4, "iscas89", 2, 2, 10, 5),
+            train=tiny_train_dataset,
+            test=tiny_test_dataset,
+        )
+        client = FederatedClient.from_client_data(
+            data, small_flnet_factory(num_channels), SMALL_FL_CONFIG
+        )
+        assert client.client_id == 4

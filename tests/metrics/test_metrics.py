@@ -1,0 +1,139 @@
+"""Tests for ROC AUC and threshold classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+from repro.metrics.roc import auc_from_curve
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(labels, scores) == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(labels, scores) == pytest.approx(0.0)
+
+    def test_random_constant_scores_give_half(self):
+        labels = np.array([0, 1, 0, 1, 1, 0])
+        scores = np.zeros(6)
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_known_mixed_case(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.8, 0.3, 0.1])
+        # Pairs: (0.9>0.8), (0.9>0.1), (0.3<0.8), (0.3>0.1) -> 3/4 correct.
+        assert roc_auc_score(labels, scores) == pytest.approx(0.75)
+
+    def test_matches_trapezoidal_curve_area(self):
+        rng = np.random.default_rng(0)
+        labels = (rng.random(200) > 0.7).astype(float)
+        scores = rng.normal(size=200) + labels
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert roc_auc_score(labels, scores) == pytest.approx(auc_from_curve(fpr, tpr), abs=1e-9)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.ones(5), np.arange(5))
+
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([0, 1, 2]), np.arange(3))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([0, 1]), np.arange(3))
+
+    def test_accepts_2d_maps(self):
+        labels = np.array([[0, 1], [1, 0]])
+        scores = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert roc_auc_score(labels, scores) == pytest.approx(1.0)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_invariant_under_monotone_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=30)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        scores = rng.normal(size=30)
+        base = roc_auc_score(labels, scores)
+        transformed = roc_auc_score(labels, np.exp(scores * 0.5) + 3.0)
+        assert base == pytest.approx(transformed, abs=1e-12)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_complement_symmetry(self, seed):
+        """AUC(labels, scores) + AUC(labels, -scores) == 1."""
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=40)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        scores = rng.normal(size=40)
+        assert roc_auc_score(labels, scores) + roc_auc_score(labels, -scores) == pytest.approx(1.0)
+
+
+class TestRocCurve:
+    def test_endpoints(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.2, 0.7, 0.4, 0.9])
+        fpr, tpr, thresholds = roc_curve(labels, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_monotone_non_decreasing(self):
+        rng = np.random.default_rng(1)
+        labels = (rng.random(100) > 0.6).astype(float)
+        scores = rng.normal(size=100)
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+
+class TestConfusionMetrics:
+    def test_confusion_matrix_layout(self):
+        labels = np.array([0, 0, 1, 1, 1])
+        predictions = np.array([0, 1, 1, 1, 0])
+        matrix = confusion_matrix(labels, predictions)
+        np.testing.assert_array_equal(matrix, [[1, 1], [1, 2]])
+
+    def test_accuracy(self):
+        labels = np.array([0, 0, 1, 1])
+        predictions = np.array([0, 1, 1, 1])
+        assert accuracy_score(labels, predictions) == pytest.approx(0.75)
+
+    def test_precision_recall_f1(self):
+        labels = np.array([1, 1, 0, 0, 1])
+        predictions = np.array([1, 0, 1, 0, 1])
+        assert precision_score(labels, predictions) == pytest.approx(2 / 3)
+        assert recall_score(labels, predictions) == pytest.approx(2 / 3)
+        assert f1_score(labels, predictions) == pytest.approx(2 / 3)
+
+    def test_zero_division_cases(self):
+        labels = np.array([1, 1, 0])
+        predictions = np.zeros(3, dtype=int)
+        assert precision_score(labels, predictions) == 0.0
+        assert f1_score(labels, predictions) == 0.0
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 2]), np.array([0, 1]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0, 1, 1]))

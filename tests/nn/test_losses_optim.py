@@ -1,0 +1,198 @@
+"""Tests for losses, optimizers, initialization, and serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    SGD,
+    Adam,
+    BCELoss,
+    BCEWithLogitsLoss,
+    Linear,
+    MSELoss,
+    Parameter,
+    load_state_dict,
+    make_loss,
+    make_optimizer,
+    save_state_dict,
+    state_dicts_allclose,
+)
+from repro.nn import init as nn_init
+from repro.nn.gradcheck import numerical_gradient
+
+
+class TestMSELoss:
+    def test_value(self):
+        loss = MSELoss()
+        value = loss.forward(np.array([1.0, 2.0, 3.0]), np.array([1.0, 1.0, 1.0]))
+        assert value == pytest.approx((0 + 1 + 4) / 3)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(4, 5))
+        target = rng.normal(size=(4, 5))
+        loss = MSELoss()
+        loss.forward(pred, target)
+        analytic = loss.backward()
+        numeric = numerical_gradient(lambda p: MSELoss().forward(p, target), pred.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-7)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss().forward(np.zeros(3), np.zeros(4))
+
+    def test_zero_for_perfect_prediction(self):
+        x = np.random.default_rng(0).normal(size=(3, 3))
+        assert MSELoss().forward(x, x.copy()) == pytest.approx(0.0)
+
+
+class TestBCELosses:
+    def test_bce_known_value(self):
+        loss = BCELoss()
+        value = loss.forward(np.array([0.5, 0.5]), np.array([1.0, 0.0]))
+        assert value == pytest.approx(-np.log(0.5))
+
+    def test_bce_gradient_numerical(self):
+        rng = np.random.default_rng(1)
+        pred = rng.uniform(0.05, 0.95, size=(3, 4))
+        target = (rng.random((3, 4)) > 0.5).astype(float)
+        loss = BCELoss()
+        loss.forward(pred, target)
+        analytic = loss.backward()
+        numeric = numerical_gradient(lambda p: BCELoss().forward(p, target), pred.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_bce_logits_matches_bce_on_sigmoid(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(5, 5))
+        target = (rng.random((5, 5)) > 0.5).astype(float)
+        from repro.nn.functional import sigmoid
+
+        direct = BCEWithLogitsLoss().forward(logits, target)
+        via_probs = BCELoss().forward(sigmoid(logits), target)
+        assert direct == pytest.approx(via_probs, rel=1e-6)
+
+    def test_bce_logits_gradient_numerical(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(3, 3))
+        target = (rng.random((3, 3)) > 0.5).astype(float)
+        loss = BCEWithLogitsLoss(pos_weight=2.0)
+        loss.forward(logits, target)
+        analytic = loss.backward()
+        numeric = numerical_gradient(
+            lambda p: BCEWithLogitsLoss(pos_weight=2.0).forward(p, target), logits.copy()
+        )
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_factory(self):
+        assert isinstance(make_loss("mse"), MSELoss)
+        assert isinstance(make_loss("bce"), BCELoss)
+        assert isinstance(make_loss("bce_logits"), BCEWithLogitsLoss)
+        with pytest.raises(ValueError):
+            make_loss("hinge")
+
+
+def quadratic_problem(seed=0):
+    """A small least-squares problem used to test optimizer convergence."""
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=(5,))
+    param = Parameter(np.zeros(5))
+
+    def loss_and_grad():
+        diff = param.data - target
+        param.grad = 2.0 * diff
+        return float(np.sum(diff**2))
+
+    return param, target, loss_and_grad
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("make", [lambda p: SGD([p], lr=0.1), lambda p: SGD([p], lr=0.05, momentum=0.9), lambda p: Adam([p], lr=0.2)])
+    def test_converges_on_quadratic(self, make):
+        param, target, loss_and_grad = quadratic_problem()
+        optimizer = make(param)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss_and_grad()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.ones(4) * 10.0)
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            optimizer.zero_grad()  # gradient stays zero; only decay acts
+            optimizer.step()
+        assert np.all(np.abs(param.data) < 10.0)
+
+    def test_adam_step_count_and_reset(self):
+        param = Parameter(np.ones(2))
+        adam = Adam([param], lr=0.1)
+        param.grad = np.ones(2)
+        adam.step()
+        assert adam._step_count == 1
+        adam.reset_state()
+        assert adam._step_count == 0
+
+    def test_factory(self):
+        param = Parameter(np.zeros(2))
+        assert isinstance(make_optimizer("sgd", [param], lr=0.1), SGD)
+        assert isinstance(make_optimizer("adam", [param], lr=0.1), Adam)
+        with pytest.raises(ValueError):
+            make_optimizer("rmsprop", [param], lr=0.1)
+
+    def test_invalid_hyperparameters(self):
+        param = Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            SGD([param], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestInit:
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        weights = nn_init.kaiming_uniform((64, 16, 3, 3), rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / (16 * 9))
+        assert np.all(np.abs(weights) <= bound + 1e-12)
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        weights = nn_init.xavier_normal((200, 100), rng)
+        expected_std = np.sqrt(2.0 / 300)
+        assert weights.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            nn_init.kaiming_uniform((3,), np.random.default_rng(0))
+
+    @given(st.integers(1, 64), st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_fan_computation_consistency(self, fan_out, fan_in):
+        rng = np.random.default_rng(0)
+        weights = nn_init.xavier_uniform((fan_out, fan_in), rng)
+        assert weights.shape == (fan_out, fan_in)
+        bound = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.all(np.abs(weights) <= bound + 1e-12)
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        path = save_state_dict(layer.state_dict(), tmp_path / "model")
+        restored = load_state_dict(path)
+        assert state_dicts_allclose(layer.state_dict(), restored)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state_dict(tmp_path / "nope.npz")
+
+    def test_allclose_detects_difference(self):
+        a = {"w": np.zeros(3)}
+        b = {"w": np.ones(3)}
+        assert not state_dicts_allclose(a, b)
+        assert not state_dicts_allclose(a, {"v": np.zeros(3)})

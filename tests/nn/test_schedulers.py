@@ -1,0 +1,320 @@
+"""Tests for learning-rate schedulers, new losses, gradient clipping, and GroupNorm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    SGD,
+    Adam,
+    BCEWithLogitsLoss,
+    ConstantLR,
+    CosineAnnealingLR,
+    DiceLoss,
+    ExponentialLR,
+    FocalLoss,
+    GroupNorm,
+    InstanceNorm2d,
+    MultiStepLR,
+    Parameter,
+    StepLR,
+    WarmupLR,
+    WeightedMSELoss,
+    check_layer_input_gradient,
+    check_layer_parameter_gradients,
+    clip_grad_norm,
+    clip_grad_value,
+    make_loss,
+    make_scheduler,
+    max_relative_error,
+    numerical_gradient,
+)
+
+
+def _optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(3), name="p")], lr=lr)
+
+
+class TestSchedulers:
+    def test_constant_keeps_rate(self):
+        opt = _optimizer(0.05)
+        sched = ConstantLR(opt)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.05)
+
+    def test_step_lr_decays_at_boundaries(self):
+        opt = _optimizer(1.0)
+        sched = StepLR(opt, step_size=3, gamma=0.5)
+        rates = [sched.step() for _ in range(7)]
+        assert rates[:2] == [1.0, 1.0]
+        assert rates[2] == pytest.approx(0.5)
+        assert rates[5] == pytest.approx(0.25)
+
+    def test_multistep_lr(self):
+        opt = _optimizer(1.0)
+        sched = MultiStepLR(opt, milestones=[2, 5], gamma=0.1)
+        rates = [sched.step() for _ in range(6)]
+        assert rates[0] == pytest.approx(1.0)
+        assert rates[1] == pytest.approx(0.1)
+        assert rates[4] == pytest.approx(0.01)
+
+    def test_exponential_lr(self):
+        opt = _optimizer(1.0)
+        sched = ExponentialLR(opt, gamma=0.9)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.81)
+
+    def test_cosine_reaches_min_lr(self):
+        opt = _optimizer(1.0)
+        sched = CosineAnnealingLR(opt, total_steps=10, min_lr=0.01)
+        rates = [sched.step() for _ in range(12)]
+        assert rates[0] < 1.0
+        assert rates[9] == pytest.approx(0.01)
+        assert rates[11] == pytest.approx(0.01)
+        assert all(a >= b - 1e-12 for a, b in zip(rates[:-1], rates[1:]))
+
+    def test_warmup_ramps_then_hands_off(self):
+        opt = _optimizer(1.0)
+        sched = WarmupLR(opt, warmup_steps=4)
+        rates = [sched.step() for _ in range(6)]
+        assert rates[0] == pytest.approx(0.25)
+        assert rates[3] == pytest.approx(1.0)
+        assert rates[5] == pytest.approx(1.0)
+
+    def test_warmup_wraps_inner_schedule(self):
+        opt = _optimizer(1.0)
+        inner = StepLR(opt, step_size=2, gamma=0.5)
+        sched = WarmupLR(opt, warmup_steps=2, after=inner)
+        rates = [sched.step() for _ in range(6)]
+        assert rates[1] == pytest.approx(1.0)
+        # After warm-up the StepLR schedule starts from its own step 1.
+        assert rates[3] == pytest.approx(0.5)
+        assert rates[5] == pytest.approx(0.25)
+
+    def test_reset_restores_base_rate(self):
+        opt = _optimizer(1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        sched.reset()
+        assert opt.lr == pytest.approx(1.0)
+        assert sched.last_step == 0
+
+    def test_factory_and_unknown_name(self):
+        opt = _optimizer()
+        assert isinstance(make_scheduler("cosine", opt, total_steps=5), CosineAnnealingLR)
+        with pytest.raises(ValueError):
+            make_scheduler("plateau", opt)
+
+    def test_invalid_hyperparameters(self):
+        opt = _optimizer()
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            ExponentialLR(opt, gamma=1.5)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, total_steps=5, min_lr=1.0)
+        with pytest.raises(ValueError):
+            MultiStepLR(opt, milestones=[3, 3])
+        with pytest.raises(ValueError):
+            WarmupLR(opt, warmup_steps=0)
+
+    def test_warmup_rejects_foreign_optimizer(self):
+        inner = StepLR(_optimizer(), step_size=2)
+        with pytest.raises(ValueError):
+            WarmupLR(_optimizer(), warmup_steps=2, after=inner)
+
+
+class TestFocalLoss:
+    def test_zero_gamma_matches_scaled_bce(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 4))
+        target = (rng.random((4, 4)) > 0.7).astype(float)
+        focal = FocalLoss(gamma=0.0, alpha=0.5)
+        bce = BCEWithLogitsLoss()
+        assert focal(logits, target) == pytest.approx(0.5 * bce(logits, target), rel=1e-9)
+
+    def test_down_weights_easy_examples(self):
+        easy = np.array([[6.0]])
+        hard = np.array([[0.1]])
+        target = np.array([[1.0]])
+        loss = FocalLoss(gamma=2.0, alpha=0.5)
+        assert loss(easy, target) < loss(hard, target)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 5))
+        target = (rng.random((3, 5)) > 0.8).astype(float)
+        loss = FocalLoss(gamma=2.0, alpha=0.25)
+
+        def f(values):
+            return loss.forward(values, target)
+
+        numeric = numerical_gradient(f, logits.copy())
+        loss.forward(logits, target)
+        analytic = loss.backward()
+        assert max_relative_error(analytic, numeric) < 1e-5
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            FocalLoss(gamma=-1.0)
+        with pytest.raises(ValueError):
+            FocalLoss(alpha=1.0)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            FocalLoss().backward()
+
+
+class TestDiceLoss:
+    def test_perfect_overlap_near_zero(self):
+        target = np.zeros((6, 6))
+        target[2:4, 2:4] = 1.0
+        assert DiceLoss()(target.copy(), target) < 0.05
+
+    def test_no_overlap_near_one(self):
+        prediction = np.zeros((6, 6))
+        prediction[0, 0] = 1.0
+        target = np.zeros((6, 6))
+        target[5, 5] = 1.0
+        assert DiceLoss(smooth=1e-3)(prediction, target) > 0.9
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        probs = rng.random((4, 4))
+        target = (rng.random((4, 4)) > 0.6).astype(float)
+        loss = DiceLoss()
+
+        def f(values):
+            return loss.forward(values, target)
+
+        numeric = numerical_gradient(f, probs.copy())
+        loss.forward(probs, target)
+        analytic = loss.backward()
+        assert max_relative_error(analytic, numeric) < 1e-5
+
+    def test_invalid_smooth(self):
+        with pytest.raises(ValueError):
+            DiceLoss(smooth=0.0)
+
+
+class TestWeightedMSELoss:
+    def test_reduces_to_mse_for_unit_weight(self):
+        rng = np.random.default_rng(3)
+        prediction = rng.normal(size=(5, 5))
+        target = (rng.random((5, 5)) > 0.5).astype(float)
+        weighted = WeightedMSELoss(pos_weight=1.0)(prediction, target)
+        plain = float(np.mean((prediction - target) ** 2))
+        assert weighted == pytest.approx(plain)
+
+    def test_positive_bins_weighted_up(self):
+        prediction = np.zeros((2, 2))
+        target = np.array([[1.0, 0.0], [0.0, 0.0]])
+        assert WeightedMSELoss(pos_weight=4.0)(prediction, target) > WeightedMSELoss(pos_weight=1.0)(
+            prediction, target
+        )
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(4)
+        prediction = rng.normal(size=(3, 4))
+        target = (rng.random((3, 4)) > 0.7).astype(float)
+        loss = WeightedMSELoss(pos_weight=3.0)
+
+        def f(values):
+            return loss.forward(values, target)
+
+        numeric = numerical_gradient(f, prediction.copy())
+        loss.forward(prediction, target)
+        analytic = loss.backward()
+        assert max_relative_error(analytic, numeric) < 1e-6
+
+    def test_factory_knows_new_losses(self):
+        assert isinstance(make_loss("focal"), FocalLoss)
+        assert isinstance(make_loss("dice"), DiceLoss)
+        assert isinstance(make_loss("weighted_mse", pos_weight=2.0), WeightedMSELoss)
+
+
+class TestGradientClipping:
+    def test_clip_grad_norm_scales_down(self):
+        params = [Parameter(np.zeros(4), name="a"), Parameter(np.zeros(4), name="b")]
+        params[0].grad += 3.0
+        params[1].grad += 4.0
+        norm = clip_grad_norm(params, max_norm=1.0)
+        assert norm == pytest.approx(10.0)
+        total = np.sqrt(sum(float(np.sum(p.grad**2)) for p in params))
+        assert total == pytest.approx(1.0)
+
+    def test_clip_grad_norm_noop_when_small(self):
+        param = Parameter(np.zeros(2), name="a")
+        param.grad += 0.1
+        clip_grad_norm([param], max_norm=5.0)
+        np.testing.assert_allclose(param.grad, 0.1)
+
+    def test_clip_grad_value(self):
+        param = Parameter(np.zeros(3), name="a")
+        param.grad[:] = [-2.0, 0.5, 7.0]
+        clip_grad_value([param], max_value=1.0)
+        np.testing.assert_allclose(param.grad, [-1.0, 0.5, 1.0])
+
+    def test_invalid_arguments(self):
+        param = Parameter(np.zeros(1), name="a")
+        with pytest.raises(ValueError):
+            clip_grad_norm([param], max_norm=0.0)
+        with pytest.raises(ValueError):
+            clip_grad_value([param], max_value=-1.0)
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_clipped_norm_never_exceeds_bound(self, max_norm):
+        rng = np.random.default_rng(0)
+        params = [Parameter(np.zeros(6), name="p")]
+        params[0].grad += rng.normal(scale=5.0, size=6)
+        clip_grad_norm(params, max_norm=max_norm)
+        assert np.sqrt(float(np.sum(params[0].grad ** 2))) <= max_norm + 1e-9
+
+
+class TestGroupNorm:
+    def test_output_normalized_per_group(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=3.0, scale=2.0, size=(2, 4, 5, 5))
+        layer = GroupNorm(num_groups=2, num_channels=4)
+        out = layer.forward(x)
+        grouped = out.reshape(2, 2, 2, 5, 5)
+        assert np.allclose(grouped.mean(axis=(2, 3, 4)), 0.0, atol=1e-6)
+        assert np.allclose(grouped.std(axis=(2, 3, 4)), 1.0, atol=1e-3)
+
+    def test_no_buffers_registered(self):
+        layer = GroupNorm(2, 4)
+        assert "running_mean" not in layer.state_dict()
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 4, 3, 3))
+        analytic, numeric = check_layer_input_gradient(GroupNorm(2, 4), x)
+        assert max_relative_error(analytic, numeric) < 1e-4
+
+    def test_parameter_gradients_match_numerical(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 4, 3, 3))
+        results = check_layer_parameter_gradients(GroupNorm(2, 4), x)
+        for analytic, numeric in results.values():
+            assert max_relative_error(analytic, numeric) < 1e-4
+
+    def test_instance_norm_is_per_channel(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(loc=-1.0, scale=3.0, size=(2, 3, 6, 6))
+        out = InstanceNorm2d(3).forward(x)
+        assert np.allclose(out.mean(axis=(2, 3)), 0.0, atol=1e-6)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            GroupNorm(num_groups=3, num_channels=4)
+        with pytest.raises(ValueError):
+            GroupNorm(num_groups=0, num_channels=4)
+
+    def test_rejects_wrong_shape(self):
+        layer = GroupNorm(2, 4)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 3, 4, 4)))

@@ -1,0 +1,94 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.fl import ALGORITHMS
+from repro.models.registry import available_models
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_every_command_has_a_handler(self):
+        parser = build_parser()
+        for command in ("list-models", "list-algorithms", "generate-data", "route", "reproduce", "communication"):
+            args = parser.parse_args([command])
+            assert callable(args.handler)
+
+    def test_reproduce_arguments_parsed(self):
+        args = build_parser().parse_args(
+            ["reproduce", "--model", "routenet", "--preset", "smoke", "--algorithms", "local", "fedprox"]
+        )
+        assert args.model == "routenet"
+        assert args.preset == "smoke"
+        assert args.algorithms == ["local", "fedprox"]
+
+
+class TestListCommands:
+    def test_list_models_prints_every_model(self, capsys):
+        assert main(["list-models", "--channels", "3"]) == 0
+        output = capsys.readouterr().out
+        for name in available_models():
+            assert name in output
+
+    def test_list_algorithms_prints_registry(self, capsys):
+        assert main(["list-algorithms"]) == 0
+        output = capsys.readouterr().out
+        for name in ALGORITHMS:
+            assert name in output
+
+
+class TestRouteCommand:
+    def test_route_small_design(self, capsys):
+        code = main(
+            ["route", "--suite", "iscas89", "--seed", "3", "--cells", "260", "--grid", "12"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Placement quality" in output
+        assert "Global routing quality" in output
+        assert "wirelength_um" in output
+
+
+class TestCommunicationCommand:
+    def test_table_covers_every_algorithm(self, capsys):
+        assert main(["communication", "--model", "flnet", "--rounds", "10"]) == 0
+        output = capsys.readouterr().out
+        for name in ALGORITHMS:
+            assert name in output
+
+
+class TestReproduceCommand:
+    def test_rejects_unknown_algorithm(self, capsys):
+        code = main(["reproduce", "--preset", "smoke", "--algorithms", "not_an_algorithm"])
+        assert code == 2
+        assert "unknown algorithms" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_smoke_preset_runs(self, tmp_path, capsys):
+        output_file = tmp_path / "table.txt"
+        code = main(
+            [
+                "reproduce",
+                "--preset",
+                "smoke",
+                "--algorithms",
+                "local",
+                "fedprox",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--output",
+                str(output_file),
+            ]
+        )
+        assert code == 0
+        assert output_file.exists()
+        text = output_file.read_text()
+        assert "FedProx" in text
