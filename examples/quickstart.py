@@ -10,9 +10,21 @@ in a couple of minutes:
 4. train FLNet on a few placements and evaluate ROC AUC on held-out ones.
 
 Run with:  python examples/quickstart.py
+
+Works from a fresh checkout: if the ``repro`` package is not installed
+(``pip install -e .``), the repository's ``src/`` directory is put on the
+path automatically.
 """
 
 from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401 - probing for an installed package
+except ImportError:  # fresh checkout without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 

@@ -2,9 +2,19 @@
 
 Metadata lives in pyproject.toml; this file exists so that editable installs
 (`pip install -e .`) work in offline environments whose pip cannot set up an
-isolated PEP 517 build (no network access to fetch the build backend).
+isolated PEP 517 build (no network access to fetch the build backend), and to
+inject README.md as the package's long description (declared ``dynamic`` in
+pyproject.toml).
 """
+
+from pathlib import Path
 
 from setuptools import setup
 
-setup()
+readme = Path(__file__).parent / "README.md"
+long_description = readme.read_text(encoding="utf-8") if readme.exists() else ""
+
+setup(
+    long_description=long_description,
+    long_description_content_type="text/markdown",
+)

@@ -16,15 +16,20 @@ entry points without writing any Python:
 ``repro reproduce``
     Re-run one of the paper's result tables (Table 3, 4, or 5) under a
     preset and print the per-client ROC AUC rows next to the paper's values.
+    ``--workers N`` fans each round's client updates out over N worker
+    processes (bit-identical to serial execution); ``--checkpoint-dir``
+    enables per-round checkpoint/resume.
 ``repro communication``
     Print the analytic communication cost of every algorithm for a model.
 
-Every command accepts ``--help`` for its full set of options.
+Every command accepts ``--help`` for its full set of options; see
+``docs/cli.md`` for a complete reference.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional, Sequence
 
@@ -141,6 +146,25 @@ def _add_reproduce(subparsers) -> None:
     )
     parser.add_argument("--cache-dir", default=None, help="directory to cache the synthesized corpus")
     parser.add_argument("--output", default=None, help="write the rendered table to this file")
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "serial", "process"),
+        default="auto",
+        help="execution backend for client updates (auto: process when --workers > 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes per round; 1 forces serial execution, "
+        ">1 fans client updates out over processes (results are bit-identical)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-round checkpoints; re-running with the same "
+        "directory resumes interrupted global-state algorithms",
+    )
     parser.set_defaults(handler=_cmd_reproduce)
 
 
@@ -154,8 +178,22 @@ def _cmd_reproduce(args) -> int:
             print(f"error: unknown algorithms {unknown}; available: {sorted(ALGORITHMS)}", file=sys.stderr)
             return 2
         config = config.with_algorithms(args.algorithms)
+    try:
+        config = config.with_execution(
+            backend=args.backend,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     runner = ExperimentRunner(config, cache_dir=args.cache_dir)
-    result = runner.run()
+    try:
+        result = runner.run()
+    except ValueError as error:
+        # e.g. resuming from a checkpoint directory written by a different run
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     title = f"ROC AUC on routability prediction with {args.model} ({args.preset} preset)"
     text = format_rows(result.rows, title=title)
     measured = {row.algorithm: row.average_auc for row in result.rows}
@@ -225,6 +263,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    # Surface the library's informational logs (e.g. "resuming from
+    # checkpoint round N") on stderr when running from the command line.
+    logging.basicConfig(level=logging.INFO, format="%(name)s: %(message)s")
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
     return int(args.handler(args))

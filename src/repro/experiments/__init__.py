@@ -20,6 +20,7 @@ from repro.experiments.runner import (
     AlgorithmOutcome,
     ExperimentResult,
     ExperimentRunner,
+    ModelBuilder,
     run_experiment,
 )
 from repro.experiments.tables import (
@@ -46,6 +47,7 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentResult",
     "AlgorithmOutcome",
+    "ModelBuilder",
     "run_experiment",
     "ROW_DISPLAY_NAMES",
     "PAPER_TABLES",

@@ -25,7 +25,11 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.data.clients import ClientSpec, CorpusConfig, TABLE2_CLIENTS
 from repro.fl.config import FLConfig
+from repro.fl.execution import BACKENDS as EXECUTION_BACKENDS
 from repro.models.registry import available_models
+
+#: Sentinel for "keep the current value" in :meth:`ExperimentConfig.with_execution`.
+_KEEP = object()
 
 #: The algorithm rows of Tables 3-5, in the paper's order.
 TABLE_ALGORITHMS: Tuple[str, ...] = (
@@ -42,7 +46,17 @@ TABLE_ALGORITHMS: Tuple[str, ...] = (
 
 @dataclass
 class ExperimentConfig:
-    """Everything needed to run one table-style experiment."""
+    """Everything needed to run one table-style experiment.
+
+    Execution options
+    -----------------
+    ``backend`` selects where each round's client updates run: ``"serial"``
+    (in-process, the default), ``"process"`` (a pool of ``workers``
+    processes), or ``None`` / ``"auto"`` to infer from ``workers``.  Any
+    backend produces bit-identical results for the same seed.
+    ``checkpoint_dir`` enables per-round checkpoint/resume for the
+    global-state algorithms (one subdirectory per algorithm).
+    """
 
     name: str
     model: str = "flnet"
@@ -52,6 +66,9 @@ class ExperimentConfig:
     client_specs: Tuple[ClientSpec, ...] = TABLE2_CLIENTS
     model_kwargs: Dict[str, object] = field(default_factory=dict)
     seed: int = 0
+    backend: Optional[str] = None
+    workers: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.model.lower() not in available_models():
@@ -60,6 +77,37 @@ class ExperimentConfig:
             )
         if not self.algorithms:
             raise ValueError("at least one algorithm is required")
+        if self.backend is not None and self.backend not in ("auto",) + tuple(EXECUTION_BACKENDS):
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; "
+                f"available: {sorted(EXECUTION_BACKENDS)} (or 'auto')"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.backend == "serial" and self.workers is not None and self.workers > 1:
+            raise ValueError(
+                f"backend 'serial' cannot use {self.workers} workers; "
+                "drop the workers option or choose the 'process' backend"
+            )
+
+    def with_execution(
+        self,
+        backend: object = _KEEP,
+        workers: object = _KEEP,
+        checkpoint_dir: object = _KEEP,
+    ) -> "ExperimentConfig":
+        """A copy of this configuration with different execution options.
+
+        Omitted options keep their current value; pass ``None`` explicitly to
+        reset one (e.g. ``with_execution(checkpoint_dir=None)`` disables
+        checkpointing without touching the backend choice).
+        """
+        return replace(
+            self,
+            backend=self.backend if backend is _KEEP else backend,
+            workers=self.workers if workers is _KEEP else workers,
+            checkpoint_dir=self.checkpoint_dir if checkpoint_dir is _KEEP else checkpoint_dir,
+        )
 
     def with_model(self, model: str, **model_kwargs) -> "ExperimentConfig":
         """A copy of this configuration targeting a different estimator."""

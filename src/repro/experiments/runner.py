@@ -9,17 +9,37 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.data.clients import ClientData, CorpusBuilder
 from repro.fl import (
+    CheckpointManager,
     EvaluationRow,
+    ExecutionBackend,
     FederatedClient,
     SeededModelFactory,
     TrainingResult,
     create_algorithm,
+    create_backend,
     evaluate_result,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.models.registry import create_model
 
 PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class ModelBuilder:
+    """Builds one registry model from a seed.
+
+    A module-level class (rather than a closure) so model factories — and the
+    federated clients holding them — stay picklable, which the process-pool
+    execution backend requires under the ``spawn`` start method.
+    """
+
+    model: str
+    channels: int
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    def __call__(self, seed: int):
+        return create_model(self.model, self.channels, seed=seed, **dict(self.kwargs))
 
 
 @dataclass
@@ -84,13 +104,12 @@ class ExperimentRunner:
 
     def model_factory(self) -> SeededModelFactory:
         """A fresh, deterministic model factory for one algorithm run."""
-        channels = self.num_feature_channels()
-        kwargs = dict(self.config.model_kwargs)
-
-        def build(seed: int):
-            return create_model(self.config.model, channels, seed=seed, **kwargs)
-
-        return SeededModelFactory(build, base_seed=self.config.seed)
+        builder = ModelBuilder(
+            model=self.config.model,
+            channels=self.num_feature_channels(),
+            kwargs=tuple(sorted(self.config.model_kwargs.items())),
+        )
+        return SeededModelFactory(builder, base_seed=self.config.seed)
 
     def federated_clients(self) -> List[FederatedClient]:
         """Wrap every client's data into a federated client."""
@@ -101,15 +120,51 @@ class ExperimentRunner:
         ]
 
     # -- execution ----------------------------------------------------------------
+    def execution_backend(self) -> ExecutionBackend:
+        """The execution backend requested by the configuration.
+
+        The caller owns the returned backend and should ``close()`` it (or
+        use it as a context manager) once training is done; the serial
+        backend holds no resources, the process-pool backend holds workers.
+        """
+        return create_backend(self.config.backend, workers=self.config.workers)
+
+    def _checkpoint_manager(self, algorithm: str) -> Optional[CheckpointManager]:
+        """Per-algorithm checkpoint manager under the configured directory."""
+        if self.config.checkpoint_dir is None:
+            return None
+        return CheckpointManager(Path(self.config.checkpoint_dir) / algorithm)
+
     def run_algorithm(
-        self, name: str, clients: Optional[Sequence[FederatedClient]] = None
+        self,
+        name: str,
+        clients: Optional[Sequence[FederatedClient]] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> AlgorithmOutcome:
-        """Train with one algorithm and evaluate it on every client."""
+        """Train with one algorithm and evaluate it on every client.
+
+        When ``backend`` is ``None``, one is created from the configuration
+        for this run and closed afterwards; a provided backend is left open
+        so callers can reuse its worker pool across algorithms.
+        """
         clients = list(clients) if clients is not None else self.federated_clients()
-        algorithm = create_algorithm(name, clients, self.model_factory(), self.config.fl)
-        start = time.perf_counter()
-        training = algorithm.run()
-        runtime = time.perf_counter() - start
+        owns_backend = backend is None
+        backend = backend if backend is not None else self.execution_backend()
+        try:
+            algorithm = create_algorithm(
+                name,
+                clients,
+                self.model_factory(),
+                self.config.fl,
+                backend=backend,
+                checkpoint=self._checkpoint_manager(name),
+            )
+            start = time.perf_counter()
+            training = algorithm.run()
+            runtime = time.perf_counter() - start
+        finally:
+            if owns_backend:
+                backend.close()
         evaluation = evaluate_result(training, clients)
         return AlgorithmOutcome(
             algorithm=name,
@@ -119,12 +174,17 @@ class ExperimentRunner:
         )
 
     def run(self, algorithms: Optional[Sequence[str]] = None) -> ExperimentResult:
-        """Run every algorithm of the configuration and collect the table."""
+        """Run every algorithm of the configuration and collect the table.
+
+        One execution backend (and, for the process backend, one worker pool)
+        is shared by every algorithm of the experiment.
+        """
         names = tuple(algorithms) if algorithms is not None else self.config.algorithms
         result = ExperimentResult(config=self.config)
         clients = self.federated_clients()
-        for name in names:
-            result.outcomes.append(self.run_algorithm(name, clients))
+        with self.execution_backend() as backend:
+            for name in names:
+                result.outcomes.append(self.run_algorithm(name, clients, backend=backend))
         return result
 
 

@@ -5,9 +5,50 @@ training loop (Figure 1), the FedProx objective (Equation 1), and the five
 personalization techniques (Figure 2), together with the local-only and
 centralized baselines used as the lower and upper reference points of
 Tables 3-5.
+
+Overview
+--------
+The framework separates four concerns:
+
+clients and local computation
+    :class:`FederatedClient` owns one client's private data and performs
+    local training (:class:`LocalTrainer`); only parameter states and scalar
+    loss summaries ever leave a client.
+server-side aggregation
+    :class:`FederatedServer` implements every aggregation rule used by the
+    paper (weighted averaging, per-cluster, per-partition, alpha-portion).
+training algorithms
+    :data:`ALGORITHMS` maps a configuration name to an algorithm class; see
+    the table below for which paper result each one reproduces.  Instantiate
+    via :func:`create_algorithm`.
+execution
+    :mod:`repro.fl.execution` decides where one round's client updates run
+    (serial, or fanned out over worker processes) and checkpoints rounds so
+    long runs survive interruption.  Backends are bit-identical to each
+    other by contract.
+
+Algorithm registry
+------------------
+======================  =====================================================
+name                    reproduces
+======================  =====================================================
+``local``               "Local Average" rows of Tables 3-5 (lower reference)
+``centralized``         "Training Centrally on All Data" rows (upper bound)
+``fedavg``              FedProx with ``mu = 0`` (McMahan et al., 2017)
+``fedprox``             Figure 1 loop with the Equation 1 objective
+``fedprox_lg``          local/global partitioning, Figure 2(a)
+``ifca``                iterative federated clustering, Figure 2(b)
+``assigned_clustering`` prior-knowledge clustering, Figure 2(c)
+``fedprox_alpha``       alpha-portion sync, Figure 2(d)
+``fedprox_finetune``    FedProx + local fine-tuning, Figure 2(e)
+``fedavgm``             server momentum extension (Hsu et al., 2019)
+``fedbn``               local normalization layers (Li et al., 2021)
+``dp_fedprox``          FedProx with client-level differential privacy
+======================  =====================================================
 """
 
-from typing import Dict, Type
+import warnings
+from typing import Dict, Optional, Type
 
 from repro.fl.algorithms import (
     Centralized,
@@ -38,6 +79,18 @@ from repro.fl.communication import (
     topk_sparsify,
 )
 from repro.fl.config import PAPER_ASSIGNED_CLUSTERS, FLConfig, paper_fl_config, scaled_fl_config
+from repro.fl.execution import (
+    BACKENDS,
+    CheckpointManager,
+    ClientTask,
+    ClientUpdate,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    RoundCheckpoint,
+    SerialBackend,
+    create_backend,
+    default_worker_count,
+)
 from repro.fl.evaluation import (
     EvaluationRow,
     evaluate_cross_client,
@@ -101,15 +154,50 @@ def create_algorithm(
     clients,
     model_factory,
     config: FLConfig,
+    backend: Optional[ExecutionBackend] = None,
+    checkpoint: Optional[CheckpointManager] = None,
 ) -> FederatedAlgorithm:
-    """Instantiate a training algorithm from the registry by name."""
+    """Instantiate a training algorithm from the registry by name.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`ALGORITHMS` (case-insensitive).
+    clients / model_factory / config:
+        Forwarded to the algorithm constructor.
+    backend:
+        Execution backend running the per-round client updates; defaults to
+        :class:`SerialBackend`.  Pass :class:`ProcessPoolBackend` (or use
+        :func:`create_backend`) to parallelize rounds across processes.
+    checkpoint:
+        Optional :class:`CheckpointManager` enabling per-round
+        checkpoint/resume for the global-state algorithms.
+    """
     key = name.lower()
     if key not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}")
-    return ALGORITHMS[key](clients, model_factory, config)
+    cls = ALGORITHMS[key]
+    if checkpoint is not None and not cls.supports_checkpointing:
+        warnings.warn(
+            f"algorithm {key!r} does not support per-round checkpointing; "
+            "the checkpoint option is ignored (an interrupted run restarts from round 0)",
+            stacklevel=2,
+        )
+        checkpoint = None
+    return cls(clients, model_factory, config, backend=backend, checkpoint=checkpoint)
 
 
 __all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ClientTask",
+    "ClientUpdate",
+    "create_backend",
+    "default_worker_count",
+    "CheckpointManager",
+    "RoundCheckpoint",
     "FLConfig",
     "paper_fl_config",
     "scaled_fl_config",

@@ -2,18 +2,29 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.fl.client import FederatedClient
 from repro.fl.config import FLConfig
+from repro.fl.execution import (
+    CheckpointManager,
+    ClientTask,
+    ClientUpdate,
+    ExecutionBackend,
+    RoundCheckpoint,
+    SerialBackend,
+)
 from repro.fl.parameters import State, clone_state
 from repro.fl.server import FederatedServer
 from repro.models.base import RoutabilityModel
 
 ModelFactory = Callable[[], RoutabilityModel]
+
+logger = logging.getLogger("repro.fl")
 
 
 @dataclass
@@ -64,10 +75,24 @@ class TrainingResult:
 
 
 class FederatedAlgorithm:
-    """Base class for every training algorithm (federated or baseline)."""
+    """Base class for every training algorithm (federated or baseline).
+
+    A communication round is expressed as *map client tasks over the
+    participating clients, then aggregate*: subclasses build the per-client
+    starting states and call :meth:`map_client_updates`, which delegates the
+    client-side computation to an :class:`~repro.fl.execution.ExecutionBackend`
+    (serial by default, process-parallel with
+    :class:`~repro.fl.execution.ProcessPoolBackend`).
+    """
 
     #: Registry / display name, overridden by subclasses.
     name: str = "base"
+
+    #: Whether :meth:`run` honors a :class:`CheckpointManager`.  True for the
+    #: algorithms whose cross-round state is a single global model; the
+    #: personalized algorithms carry per-client state across rounds and
+    #: currently ignore checkpointing.
+    supports_checkpointing: bool = False
 
     def __init__(
         self,
@@ -75,6 +100,8 @@ class FederatedAlgorithm:
         model_factory: ModelFactory,
         config: FLConfig,
         server: Optional[FederatedServer] = None,
+        backend: Optional[ExecutionBackend] = None,
+        checkpoint: Optional[CheckpointManager] = None,
     ):
         if not clients:
             raise ValueError("at least one client is required")
@@ -82,6 +109,9 @@ class FederatedAlgorithm:
         self.model_factory = model_factory
         self.config = config
         self.server = server if server is not None else FederatedServer()
+        self.backend = backend if backend is not None else SerialBackend()
+        self.backend.bind(self.clients)
+        self.checkpoint = checkpoint
 
     # -- helpers shared by subclasses -------------------------------------------
     def client_weights(self) -> List[float]:
@@ -91,6 +121,132 @@ class FederatedAlgorithm:
     def initial_state(self) -> State:
         """A fresh global model initialization."""
         return self.model_factory().state_dict()
+
+    def map_client_updates(
+        self,
+        states: Union[State, Sequence[State]],
+        steps: Optional[int] = None,
+        proximal_mu: Optional[float] = None,
+        op: str = "train",
+    ) -> List[ClientUpdate]:
+        """Run one client-side pass over every client via the backend.
+
+        ``states`` is either a single global :data:`State` broadcast to every
+        client or a sequence aligned with ``self.clients`` (one personalized
+        starting state per client).  Results come back in client order.
+        """
+        if isinstance(states, dict):
+            per_client: Sequence[State] = [states] * len(self.clients)
+        else:
+            per_client = list(states)
+            if len(per_client) != len(self.clients):
+                raise ValueError(
+                    f"got {len(per_client)} states for {len(self.clients)} clients; "
+                    "pass one state per client or a single broadcast state"
+                )
+        tasks = [
+            ClientTask(
+                client_index=index,
+                state=state,
+                op=op,
+                steps=steps,
+                proximal_mu=proximal_mu,
+            )
+            for index, state in enumerate(per_client)
+        ]
+        return self.backend.map(tasks)
+
+    # -- checkpointing ------------------------------------------------------------
+    def checkpoint_fingerprint(self) -> Dict[str, object]:
+        """Identifies the run a checkpoint belongs to.
+
+        Stored with every checkpoint and validated on load, so resuming from
+        a directory written by a different algorithm, seed, or client roster
+        fails loudly instead of silently continuing from mismatched weights.
+        The round budget is deliberately excluded: a checkpoint from a
+        shorter run is legitimately resumable into a longer one.
+        """
+        return {
+            "algorithm": self.name,
+            "seed": self.config.seed,
+            "local_steps": self.config.local_steps,
+            "learning_rate": self.config.learning_rate,
+            "batch_size": self.config.batch_size,
+            "proximal_mu": self.config.proximal_mu,
+            "optimizer": self.config.optimizer,
+            "weight_decay": self.config.weight_decay,
+            "loss": self.config.loss,
+            "client_ids": [client.client_id for client in self.clients],
+        }
+
+    def load_checkpoint(self, reference_state: Optional[State] = None) -> Optional[RoundCheckpoint]:
+        """Load the latest round checkpoint (if any) and restore client RNGs.
+
+        ``reference_state`` is a freshly initialized global state of the
+        current run; when given, the checkpointed state must have the same
+        parameter names and shapes (catching a model switch between runs).
+        Raises ``ValueError`` when the checkpoint was written by a different
+        run (see :meth:`checkpoint_fingerprint`).
+        """
+        if self.checkpoint is None:
+            return None
+        resumed = self.checkpoint.load_latest()
+        if resumed is None:
+            return None
+        recorded = resumed.extra_meta.get("fingerprint")
+        expected = self.checkpoint_fingerprint()
+        if recorded is not None and recorded != expected:
+            raise ValueError(
+                f"checkpoint in {self.checkpoint.directory} was written by a different "
+                f"run (recorded {recorded}, expected {expected}); clear the directory "
+                "or point the checkpoint option elsewhere"
+            )
+        if reference_state is not None:
+            same_model = set(resumed.global_state) == set(reference_state) and all(
+                resumed.global_state[key].shape == np.asarray(reference_state[key]).shape
+                for key in reference_state
+            )
+            if not same_model:
+                raise ValueError(
+                    f"checkpoint in {self.checkpoint.directory} holds a different model "
+                    "(parameter names/shapes do not match the current configuration); "
+                    "clear the directory or point the checkpoint option elsewhere"
+                )
+        self.checkpoint.restore_clients(self.clients, resumed)
+        logger.info(
+            "%s: resuming from checkpoint round %d in %s",
+            self.name,
+            resumed.round_index,
+            self.checkpoint.directory,
+        )
+        if resumed.round_index + 1 >= self.config.rounds:
+            logger.warning(
+                "%s: checkpoint in %s already covers all %d configured rounds; "
+                "returning the checkpointed state without further training",
+                self.name,
+                self.checkpoint.directory,
+                self.config.rounds,
+            )
+        return resumed
+
+    def save_checkpoint(
+        self,
+        round_index: int,
+        global_state: State,
+        extra_states: Optional[Dict[str, State]] = None,
+        extra_meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Persist one completed round (no-op without a checkpoint manager)."""
+        if self.checkpoint is not None:
+            meta = dict(extra_meta or {})
+            meta["fingerprint"] = self.checkpoint_fingerprint()
+            self.checkpoint.save(
+                round_index,
+                global_state,
+                self.clients,
+                extra_states=extra_states,
+                extra_meta=meta,
+            )
 
     def _round_record(
         self,

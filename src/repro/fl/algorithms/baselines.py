@@ -23,12 +23,14 @@ class LocalOnly(FederatedAlgorithm):
     def run(self) -> TrainingResult:
         result = TrainingResult(algorithm=self.name)
         steps = self.config.effective_local_steps
+        # One distinct initialization per client, drawn in client order so the
+        # factory's seed sequence is independent of the execution backend.
+        initials = [self.model_factory().state_dict() for _ in self.clients]
+        updates = self.map_client_updates(initials, steps=steps, proximal_mu=0.0)
         per_client_loss: Dict[int, float] = {}
-        for client in self.clients:
-            initial = self.model_factory().state_dict()
-            state, stats = client.local_train(initial, steps=steps, proximal_mu=0.0)
-            result.client_states[client.client_id] = state
-            per_client_loss[client.client_id] = stats.mean_loss
+        for update in updates:
+            result.client_states[update.client_id] = update.state
+            per_client_loss[update.client_id] = update.stats.mean_loss
         result.history.append(self._round_record(0, per_client_loss))
         return result
 

@@ -28,6 +28,7 @@ class DPFedProx(FederatedAlgorithm):
     """FedProx with clipped, noised client updates and a privacy accountant."""
 
     name = "dp_fedprox"
+    supports_checkpointing = True
 
     def __init__(
         self,
@@ -36,11 +37,18 @@ class DPFedProx(FederatedAlgorithm):
         config: FLConfig,
         server: Optional[FederatedServer] = None,
         privacy: Optional[PrivacyConfig] = None,
+        **kwargs,
     ):
-        super().__init__(clients, model_factory, config, server)
+        super().__init__(clients, model_factory, config, server, **kwargs)
         self.privacy = privacy if privacy is not None else PrivacyConfig(clip_norm=1.0, noise_multiplier=0.1)
         self.accountant = GaussianAccountant(self.privacy)
         self.update_log = PrivateUpdateLog()
+
+    def checkpoint_fingerprint(self):
+        fingerprint = super().checkpoint_fingerprint()
+        fingerprint["clip_norm"] = self.privacy.clip_norm
+        fingerprint["noise_multiplier"] = self.privacy.noise_multiplier
+        return fingerprint
 
     def run(self) -> TrainingResult:
         result = TrainingResult(algorithm=self.name)
@@ -49,20 +57,48 @@ class DPFedProx(FederatedAlgorithm):
         mu = self.config.proximal_mu
         rng = new_rng(np.random.SeedSequence([self.config.seed, 0xD9]))
 
-        for round_index in range(self.config.rounds):
+        start_round = 0
+        resumed = self.load_checkpoint(reference_state=global_state)
+        if resumed is not None:
+            start_round = resumed.round_index + 1
+            global_state = resumed.global_state
+            if "noise_rng" in resumed.extra_meta:
+                rng.bit_generator.state = resumed.extra_meta["noise_rng"]
+            if "raw_norms" in resumed.extra_meta:
+                self.update_log.raw_norms = [float(v) for v in resumed.extra_meta["raw_norms"]]
+                self.update_log.clipped_fraction_hits = int(
+                    resumed.extra_meta.get("clipped_hits", 0)
+                )
+            self.accountant.record_round(start_round)
+
+        for round_index in range(start_round, self.config.rounds):
+            updates = self.map_client_updates(
+                global_state, steps=self.config.local_steps, proximal_mu=mu
+            )
             client_states: List[State] = []
             per_client_loss: Dict[int, float] = {}
-            for client in self.clients:
-                state, stats = client.local_train(
-                    global_state, steps=self.config.local_steps, proximal_mu=mu
+            # The clipping + noising of each returned update happens on the
+            # server side with one sequential RNG stream, in client order, so
+            # the noise draws are identical under any execution backend.
+            for update in updates:
+                private_state, raw_norm = privatize_update(
+                    global_state, update.state, self.privacy, rng
                 )
-                private_state, raw_norm = privatize_update(global_state, state, self.privacy, rng)
                 self.update_log.record(raw_norm, self.privacy.clip_norm)
                 client_states.append(private_state)
-                per_client_loss[client.client_id] = stats.mean_loss
+                per_client_loss[update.client_id] = update.stats.mean_loss
             drift = average_pairwise_distance(client_states)
             global_state = self.server.aggregate(client_states, weights)
             self.accountant.record_round()
+            self.save_checkpoint(
+                round_index,
+                global_state,
+                extra_meta={
+                    "noise_rng": rng.bit_generator.state,
+                    "raw_norms": list(self.update_log.raw_norms),
+                    "clipped_hits": self.update_log.clipped_fraction_hits,
+                },
+            )
             result.history.append(
                 self._round_record(
                     round_index,

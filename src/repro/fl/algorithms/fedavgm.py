@@ -21,6 +21,7 @@ class FedAvgM(FederatedAlgorithm):
     """Federated averaging with server momentum (and optional proximal term)."""
 
     name = "fedavgm"
+    supports_checkpointing = True
 
     #: Server momentum coefficient; subclasses or experiments may override.
     server_momentum: float = 0.9
@@ -34,15 +35,22 @@ class FedAvgM(FederatedAlgorithm):
         weights = self.client_weights()
         mu = self.config.proximal_mu
 
-        for round_index in range(self.config.rounds):
-            client_states: List[State] = []
-            per_client_loss: Dict[int, float] = {}
-            for client in self.clients:
-                state, stats = client.local_train(
-                    global_state, steps=self.config.local_steps, proximal_mu=mu
-                )
-                client_states.append(state)
-                per_client_loss[client.client_id] = stats.mean_loss
+        start_round = 0
+        resumed = self.load_checkpoint(reference_state=global_state)
+        if resumed is not None:
+            start_round = resumed.round_index + 1
+            global_state = resumed.global_state
+            if "velocity" in resumed.extra_states:
+                velocity = resumed.extra_states["velocity"]
+
+        for round_index in range(start_round, self.config.rounds):
+            updates = self.map_client_updates(
+                global_state, steps=self.config.local_steps, proximal_mu=mu
+            )
+            client_states: List[State] = [update.state for update in updates]
+            per_client_loss: Dict[int, float] = {
+                update.client_id: update.stats.mean_loss for update in updates
+            }
             drift = average_pairwise_distance(client_states)
             average = self.server.aggregate(client_states, weights)
 
@@ -53,6 +61,7 @@ class FedAvgM(FederatedAlgorithm):
                 velocity[name] = self.server_momentum * velocity[name] + delta
                 global_state[name] = global_state[name] - velocity[name]
 
+            self.save_checkpoint(round_index, global_state, extra_states={"velocity": velocity})
             result.history.append(
                 self._round_record(round_index, per_client_loss, extra={"client_drift": drift})
             )

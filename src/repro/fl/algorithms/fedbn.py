@@ -58,20 +58,25 @@ class FedBN(FederatedAlgorithm):
         }
 
         for round_index in range(self.config.rounds):
+            # Each client trains the aggregated global part merged with its
+            # own private normalization part.
+            start_states = [
+                self.server.partition_merge(
+                    global_state, client_states[client.client_id], local_names
+                )
+                if local_names
+                else clone_state(global_state)
+                for client in self.clients
+            ]
+            updates = self.map_client_updates(
+                start_states, steps=self.config.local_steps, proximal_mu=mu
+            )
             returned: List[State] = []
             per_client_loss: Dict[int, float] = {}
-            for client in self.clients:
-                # The client trains the aggregated global part merged with its
-                # own private normalization part.
-                personalized = self.server.partition_merge(
-                    global_state, client_states[client.client_id], local_names
-                ) if local_names else clone_state(global_state)
-                state, stats = client.local_train(
-                    personalized, steps=self.config.local_steps, proximal_mu=mu
-                )
-                client_states[client.client_id] = state
-                returned.append(state)
-                per_client_loss[client.client_id] = stats.mean_loss
+            for update in updates:
+                client_states[update.client_id] = update.state
+                returned.append(update.state)
+                per_client_loss[update.client_id] = update.stats.mean_loss
             if global_names:
                 aggregated = self.server.aggregate_partition(returned, weights, global_names)
                 global_state = self.server.merge_global_local(aggregated, global_state)

@@ -19,6 +19,7 @@ class FedProx(FederatedAlgorithm):
     """The decentralized training loop of Figure 1 with the FedProx objective."""
 
     name = "fedprox"
+    supports_checkpointing = True
 
     def proximal_mu(self) -> float:
         """Proximal strength; overridden by :class:`FedAvg`."""
@@ -30,17 +31,23 @@ class FedProx(FederatedAlgorithm):
         weights = self.client_weights()
         mu = self.proximal_mu()
 
-        for round_index in range(self.config.rounds):
-            client_states: List[State] = []
-            per_client_loss: Dict[int, float] = {}
-            for client in self.clients:
-                state, stats = client.local_train(
-                    global_state, steps=self.config.local_steps, proximal_mu=mu
-                )
-                client_states.append(state)
-                per_client_loss[client.client_id] = stats.mean_loss
+        start_round = 0
+        resumed = self.load_checkpoint(reference_state=global_state)
+        if resumed is not None:
+            start_round = resumed.round_index + 1
+            global_state = resumed.global_state
+
+        for round_index in range(start_round, self.config.rounds):
+            updates = self.map_client_updates(
+                global_state, steps=self.config.local_steps, proximal_mu=mu
+            )
+            client_states: List[State] = [update.state for update in updates]
+            per_client_loss: Dict[int, float] = {
+                update.client_id: update.stats.mean_loss for update in updates
+            }
             drift = average_pairwise_distance(client_states)
             global_state = self.server.aggregate(client_states, weights)
+            self.save_checkpoint(round_index, global_state)
             result.history.append(
                 self._round_record(round_index, per_client_loss, extra={"client_drift": drift})
             )

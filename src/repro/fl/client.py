@@ -77,6 +77,23 @@ class FederatedClient:
         """Number of training samples ``n_k`` (used as the aggregation weight)."""
         return len(self.train_dataset)
 
+    # -- execution-engine hand-off ------------------------------------------------
+    @property
+    def rng_state(self) -> dict:
+        """The client RNG's bit-generator state (JSON-serializable).
+
+        Execution backends and the checkpoint manager use this to hand RNG
+        state between processes / runs, which is what keeps parallel and
+        resumed training bit-identical to a serial, uninterrupted run.  The
+        trainer shares this generator, so restoring the state here also
+        restores batch shuffling.
+        """
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
     # -- local computation ----------------------------------------------------------
     def local_train(
         self,

@@ -1,0 +1,34 @@
+"""Execution engine for decentralized training.
+
+This subpackage decides *where* one round's client updates run
+(:mod:`repro.fl.execution.backend`) and how long runs survive interruption
+(:mod:`repro.fl.execution.checkpoint`).  See ``docs/architecture.md`` for the
+backend contract every implementation must honor.
+"""
+
+from repro.fl.execution.backend import (
+    BACKENDS,
+    ClientTask,
+    ClientUpdate,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    create_backend,
+    default_worker_count,
+    run_client_task,
+)
+from repro.fl.execution.checkpoint import CheckpointManager, RoundCheckpoint
+
+__all__ = [
+    "BACKENDS",
+    "ClientTask",
+    "ClientUpdate",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "create_backend",
+    "default_worker_count",
+    "run_client_task",
+    "CheckpointManager",
+    "RoundCheckpoint",
+]

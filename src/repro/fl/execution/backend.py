@@ -1,0 +1,338 @@
+"""Execution backends: how one round's client updates are computed.
+
+Every decentralized algorithm in :mod:`repro.fl.algorithms` expresses a
+communication round as *map a batch of client tasks over the participating
+clients, then aggregate the returned states*.  The mapping step is delegated
+to an :class:`ExecutionBackend`, which decides **where** the client-side
+computation runs:
+
+:class:`SerialBackend`
+    Runs every task in the calling process, in task order.  This is exactly
+    the behavior of the original inline training loops, bit for bit.
+
+:class:`ProcessPoolBackend`
+    Fans the tasks of one round out across a pool of worker processes.
+    Workers cache a pickled copy of the client roster once, so each task only
+    ships ``(initial state, options, RNG state)`` in and
+    ``(new state, statistics, RNG state)`` out.
+
+Backend contract
+----------------
+Implementations must guarantee, for a single :meth:`ExecutionBackend.map`
+call:
+
+ordering
+    The returned list is aligned with the task list: ``results[i]`` is the
+    outcome of ``tasks[i]``, regardless of completion order.
+determinism
+    A task's outcome depends only on the owning client's fields (datasets,
+    configuration, trainer) and its RNG state at submission time.  Backends
+    synchronize per-client RNG state with the caller's client objects, so a
+    serial and a parallel run of the same algorithm with the same seed
+    produce **bit-identical** states.
+state ownership
+    Task input states are never mutated.  Returned states are fresh arrays
+    owned by the caller (workers return pickled copies; the serial backend
+    returns whatever the client's ``local_train`` returns, which is the
+    original inline-loop behavior).
+one task per client
+    A single ``map`` call may contain at most one task per client; chaining
+    two updates of the same client within one call would make the RNG
+    hand-off ambiguous.  Backends raise ``ValueError`` otherwise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.fl.parameters import State
+from repro.fl.trainer import StepStatistics
+
+#: Task operations understood by every backend.
+TRAIN = "train"
+FINETUNE = "finetune"
+_OPS = (TRAIN, FINETUNE)
+
+
+@dataclass
+class ClientTask:
+    """One unit of client-side work inside a communication round.
+
+    ``client_index`` indexes into the client roster the backend was bound to
+    (not the client id); ``state`` is the model the client starts from.
+    """
+
+    client_index: int
+    state: State
+    op: str = TRAIN
+    steps: Optional[int] = None
+    proximal_mu: Optional[float] = None
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(f"unknown client op {self.op!r}; expected one of {_OPS}")
+
+
+@dataclass
+class ClientUpdate:
+    """The outcome of one :class:`ClientTask`."""
+
+    client_index: int
+    client_id: int
+    state: State
+    stats: StepStatistics
+
+
+def run_client_task(client, task: ClientTask):
+    """Execute ``task`` on ``client``; returns ``(new_state, stats)``.
+
+    Shared by every backend so serial and parallel execution dispatch
+    identically.
+    """
+    if task.op == TRAIN:
+        return client.local_train(task.state, steps=task.steps, proximal_mu=task.proximal_mu)
+    if task.op == FINETUNE:
+        return client.fine_tune(task.state, steps=task.steps)
+    raise ValueError(f"unknown client op {task.op!r}")  # pragma: no cover - guarded in __post_init__
+
+
+def _check_one_task_per_client(tasks: Sequence[ClientTask]) -> None:
+    seen = set()
+    for task in tasks:
+        if task.client_index in seen:
+            raise ValueError(
+                f"duplicate task for client index {task.client_index}: a backend map() "
+                "call may contain at most one task per client"
+            )
+        seen.add(task.client_index)
+
+
+class ExecutionBackend:
+    """Interface every execution backend implements (see module docstring)."""
+
+    #: Registry / CLI name, overridden by subclasses.
+    name: str = "base"
+
+    def __init__(self):
+        self._clients: List = []
+
+    def bind(self, clients: Sequence) -> None:
+        """Attach the client roster tasks will index into.
+
+        Called by :class:`repro.fl.algorithms.FederatedAlgorithm` on
+        construction; may be called again with a different roster (a pooled
+        backend then discards workers caching the old roster).
+        """
+        self._clients = list(clients)
+
+    @property
+    def clients(self) -> List:
+        return self._clients
+
+    def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
+        """Execute every task and return outcomes aligned with ``tasks``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources; the backend may be re-used after."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}(clients={len(self._clients)})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs every client task in the calling process, in task order.
+
+    This reproduces the original inline training loops exactly: same call
+    order, same RNG consumption, same returned objects.
+    """
+
+    name = "serial"
+
+    def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
+        _check_one_task_per_client(tasks)
+        updates: List[ClientUpdate] = []
+        for task in tasks:
+            client = self._clients[task.client_index]
+            state, stats = run_client_task(client, task)
+            updates.append(
+                ClientUpdate(
+                    client_index=task.client_index,
+                    client_id=client.client_id,
+                    state=state,
+                    stats=stats,
+                )
+            )
+        return updates
+
+
+# -- process-pool worker plumbing ------------------------------------------------
+#
+# Workers cache the client roster in a module-level global (set once by the
+# pool initializer) so per-task payloads stay small.  Each payload carries the
+# parent's current RNG state for the client, and each result carries the RNG
+# state after training; the parent writes it back into its own client object.
+# That hand-off is what makes parallel runs bit-identical to serial ones.
+
+_WORKER_CLIENTS: Optional[List] = None
+
+
+def _init_worker(clients: List) -> None:
+    global _WORKER_CLIENTS
+    _WORKER_CLIENTS = clients
+
+
+def _worker_run_task(payload):
+    index, op, state, steps, proximal_mu, rng_state = payload
+    if isinstance(state, bytes):
+        state = pickle.loads(state)
+    client = _WORKER_CLIENTS[index]
+    client.rng_state = rng_state
+    task = ClientTask(client_index=index, state=state, op=op, steps=steps, proximal_mu=proximal_mu)
+    new_state, stats = run_client_task(client, task)
+    return new_state, stats, client.rng_state
+
+
+def default_worker_count() -> int:
+    """Worker count used when none is requested (the machine's CPU count)."""
+    return max(1, os.cpu_count() or 1)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fans one round's client tasks out across worker processes.
+
+    The pool is created lazily on the first :meth:`map` call and the bound
+    client roster is shipped to every worker once (via the pool initializer).
+    Each task then only transfers the initial state in and the updated state,
+    step statistics, and RNG state out.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (default: the machine's CPU count).  The
+        effective pool size is additionally capped by the roster size.
+    start_method:
+        ``multiprocessing`` start method.  Defaults to ``"fork"`` where
+        available (cheap, and tolerates non-picklable model factories) and
+        ``"spawn"`` elsewhere; under ``"spawn"`` the bound clients must be
+        picklable.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None, start_method: Optional[str] = None):
+        super().__init__()
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = int(workers) if workers is not None else default_worker_count()
+        if start_method is None:
+            start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        self.start_method = start_method
+        self._pool = None
+
+    def bind(self, clients: Sequence) -> None:
+        roster = list(clients)
+        same_roster = len(roster) == len(self._clients) and all(
+            new is old for new, old in zip(roster, self._clients)
+        )
+        if self._pool is not None and not same_roster:
+            # Workers cache the roster they were initialized with; a new
+            # roster needs a new pool.
+            self.close()
+        super().bind(roster)
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if not self._clients:
+                raise RuntimeError("ProcessPoolBackend.map called before bind()")
+            context = multiprocessing.get_context(self.start_method)
+            processes = max(1, min(self.workers, len(self._clients)))
+            self._pool = context.Pool(
+                processes=processes, initializer=_init_worker, initargs=(self._clients,)
+            )
+        return self._pool
+
+    def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
+        if not tasks:
+            return []
+        _check_one_task_per_client(tasks)
+        pool = self._ensure_pool()
+        # Broadcast rounds pass the *same* state object in every task; pickle
+        # each distinct state once and ship the blob, instead of re-serializing
+        # the full model per client.
+        blobs: Dict[int, bytes] = {}
+        for task in tasks:
+            key = id(task.state)
+            if key not in blobs:
+                blobs[key] = pickle.dumps(task.state, protocol=pickle.HIGHEST_PROTOCOL)
+        payloads = [
+            (
+                task.client_index,
+                task.op,
+                blobs[id(task.state)],
+                task.steps,
+                task.proximal_mu,
+                self._clients[task.client_index].rng_state,
+            )
+            for task in tasks
+        ]
+        raw = pool.map(_worker_run_task, payloads)
+        updates: List[ClientUpdate] = []
+        for task, (state, stats, rng_state) in zip(tasks, raw):
+            client = self._clients[task.client_index]
+            client.rng_state = rng_state
+            updates.append(
+                ClientUpdate(
+                    client_index=task.client_index,
+                    client_id=client.client_id,
+                    state=state,
+                    stats=stats,
+                )
+            )
+        return updates
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+#: Registry of execution backends, keyed by their CLI name.
+BACKENDS: Dict[str, type] = {
+    SerialBackend.name: SerialBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+
+
+def create_backend(name: Optional[str] = None, workers: Optional[int] = None) -> ExecutionBackend:
+    """Instantiate an execution backend by name.
+
+    With ``name=None`` (or ``"auto"``) the backend is chosen from ``workers``:
+    more than one worker selects the process pool, otherwise serial — so
+    ``--workers N`` alone is enough to opt into parallel execution, and
+    ``--workers 1`` is guaranteed to reproduce serial results.
+    """
+    if name is None or name == "auto":
+        name = ProcessPoolBackend.name if (workers or 1) > 1 else SerialBackend.name
+    key = name.lower()
+    if key not in BACKENDS:
+        raise ValueError(f"unknown execution backend {name!r}; available: {sorted(BACKENDS)}")
+    if key == ProcessPoolBackend.name:
+        return ProcessPoolBackend(workers=workers)
+    if workers is not None and workers > 1:
+        raise ValueError(
+            f"backend 'serial' cannot use {workers} workers; "
+            "drop --workers or choose the 'process' backend"
+        )
+    return SerialBackend()

@@ -1,4 +1,16 @@
-"""Federated-learning personalization techniques (Section 4.3)."""
+"""Federated-learning personalization techniques (Section 4.3, Figure 2).
+
+Five ways a client ends up with a model adapted to its own data
+distribution, evaluated against each other in Tables 3-5:
+
+* :class:`FedProxLG` — local/global parameter partitioning, Figure 2(a).
+* :class:`IFCA` — iterative federated clustering, Figure 2(b).
+* :class:`AssignedClustering` — prior-knowledge clustering, Figure 2(c).
+* :class:`AlphaPortionSync` — per-client alpha-weighted aggregation,
+  Figure 2(d).
+* :class:`FedProxFineTuning` — FedProx followed by local fine-tuning,
+  Figure 2(e); the paper's Table 3 winner.
+"""
 
 from repro.fl.personalization.alpha_sync import AlphaPortionSync
 from repro.fl.personalization.clustering import IFCA, AssignedClustering

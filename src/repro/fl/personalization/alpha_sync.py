@@ -35,15 +35,15 @@ class AlphaPortionSync(FederatedAlgorithm):
 
         for round_index in range(self.config.rounds):
             customized = self.server.alpha_portion_sync(client_states, client_weights, alpha)
+            updates = self.map_client_updates(
+                [customized[client.client_id] for client in self.clients],
+                steps=self.config.local_steps,
+                proximal_mu=mu,
+            )
             per_client_loss: Dict[int, float] = {}
-            for client in self.clients:
-                state, stats = client.local_train(
-                    customized[client.client_id],
-                    steps=self.config.local_steps,
-                    proximal_mu=mu,
-                )
-                client_states[client.client_id] = state
-                per_client_loss[client.client_id] = stats.mean_loss
+            for update in updates:
+                client_states[update.client_id] = update.state
+                per_client_loss[update.client_id] = update.stats.mean_loss
             result.history.append(self._round_record(round_index, per_client_loss))
 
         result.client_states = client_states

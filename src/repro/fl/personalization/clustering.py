@@ -46,18 +46,27 @@ class IFCA(FederatedAlgorithm):
         last_assignment: Dict[int, int] = {}
 
         for round_index in range(self.config.rounds):
-            member_states: Dict[int, List[State]] = {}
-            member_weights: Dict[int, List[float]] = {}
-            per_client_loss: Dict[int, float] = {}
+            # Cluster choice stays in the coordinating process (it is a cheap
+            # loss probe); each client consumes its own RNG stream for the
+            # probe and then for training, so the per-client draw order is
+            # identical under any execution backend.
+            chosen = []
             for client in self.clients:
                 cluster_id = self.choose_cluster(client, cluster_states)
                 last_assignment[client.client_id] = cluster_id
-                state, stats = client.local_train(
-                    cluster_states[cluster_id], steps=self.config.local_steps, proximal_mu=mu
-                )
-                member_states.setdefault(cluster_id, []).append(state)
+                chosen.append(cluster_id)
+            updates = self.map_client_updates(
+                [cluster_states[cluster_id] for cluster_id in chosen],
+                steps=self.config.local_steps,
+                proximal_mu=mu,
+            )
+            member_states: Dict[int, List[State]] = {}
+            member_weights: Dict[int, List[float]] = {}
+            per_client_loss: Dict[int, float] = {}
+            for client, cluster_id, update in zip(self.clients, chosen, updates):
+                member_states.setdefault(cluster_id, []).append(update.state)
                 member_weights.setdefault(cluster_id, []).append(float(client.num_samples))
-                per_client_loss[client.client_id] = stats.mean_loss
+                per_client_loss[update.client_id] = update.stats.mean_loss
             cluster_states = self.server.aggregate_clusters(cluster_states, member_states, member_weights)
             result.history.append(
                 self._round_record(

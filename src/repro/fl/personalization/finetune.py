@@ -24,13 +24,13 @@ class FedProxFineTuning(FedProx):
         result = TrainingResult(algorithm=self.name, history=list(federated.history))
         result.global_state = federated.global_state
 
+        updates = self.map_client_updates(
+            federated.global_state, steps=self.config.finetune_steps, op="finetune"
+        )
         per_client_loss: Dict[int, float] = {}
-        for client in self.clients:
-            personalized, stats = client.fine_tune(
-                federated.global_state, steps=self.config.finetune_steps
-            )
-            result.client_states[client.client_id] = personalized
-            per_client_loss[client.client_id] = stats.mean_loss
+        for update in updates:
+            result.client_states[update.client_id] = update.state
+            per_client_loss[update.client_id] = update.stats.mean_loss
         result.history.append(
             self._round_record(self.config.rounds, per_client_loss, extra={"stage": "fine_tuning"})
         )

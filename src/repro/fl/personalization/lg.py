@@ -40,20 +40,21 @@ class FedProxLG(FederatedAlgorithm):
         mu = self.config.proximal_mu
 
         for round_index in range(self.config.rounds):
+            # Each client receives only the aggregated global part, overlaid
+            # onto its privately kept full state.
+            start_states = [
+                self.server.merge_global_local(global_part, client_full_states[client.client_id])
+                for client in self.clients
+            ]
+            updates = self.map_client_updates(
+                start_states, steps=self.config.local_steps, proximal_mu=mu
+            )
             returned_states: List[State] = []
             per_client_loss: Dict[int, float] = {}
-            for client in self.clients:
-                # The client receives only the aggregated global part and
-                # overlays it onto its privately kept full state.
-                start_state = self.server.merge_global_local(
-                    global_part, client_full_states[client.client_id]
-                )
-                new_state, stats = client.local_train(
-                    start_state, steps=self.config.local_steps, proximal_mu=mu
-                )
-                client_full_states[client.client_id] = new_state
-                returned_states.append(new_state)
-                per_client_loss[client.client_id] = stats.mean_loss
+            for update in updates:
+                client_full_states[update.client_id] = update.state
+                returned_states.append(update.state)
+                per_client_loss[update.client_id] = update.stats.mean_loss
             global_part = self.server.aggregate_partition(returned_states, weights, shared_names)
             result.history.append(self._round_record(round_index, per_client_loss))
 

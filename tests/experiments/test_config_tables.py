@@ -54,6 +54,21 @@ class TestPresets:
         with pytest.raises(ValueError):
             ExperimentConfig(name="x", model="resnet")
 
+    def test_with_execution_keeps_omitted_options(self):
+        config = default("flnet").with_execution(checkpoint_dir="ckpt")
+        updated = config.with_execution(workers=4)
+        assert updated.workers == 4
+        assert updated.checkpoint_dir == "ckpt"  # omitted -> kept
+        cleared = updated.with_execution(checkpoint_dir=None)
+        assert cleared.checkpoint_dir is None  # explicit None -> reset
+        assert cleared.workers == 4
+
+    def test_execution_options_validated(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            default("flnet").with_execution(backend="threads")
+        with pytest.raises(ValueError, match="workers must be positive"):
+            default("flnet").with_execution(workers=0)
+
     def test_each_preset_targets_all_three_models(self):
         for model in ("flnet", "routenet", "pros"):
             assert preset("smoke", model).model == model
