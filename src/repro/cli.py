@@ -18,7 +18,10 @@ entry points without writing any Python:
     preset and print the per-client ROC AUC rows next to the paper's values.
     ``--workers N`` fans each round's client updates out over N worker
     processes (bit-identical to serial execution); ``--checkpoint-dir``
-    enables per-round checkpoint/resume.
+    enables per-round checkpoint/resume; ``--compression`` routes every
+    broadcast/upload through a wire codec (identity casts, packed
+    quantization, top-k sparsification) and reports *measured* payload
+    bytes per round.
 ``repro communication``
     Print the analytic communication cost of every algorithm for a model.
 
@@ -37,7 +40,7 @@ from repro.eda.benchmarks import generate_design, suite_names
 from repro.eda.global_router import GlobalRouterConfig, route_placement
 from repro.eda.placement import PlacementConfig, Placer
 from repro.eda.quality import placement_quality, routing_quality
-from repro.fl import ALGORITHMS, estimate_communication
+from repro.fl import ALGORITHMS, COMPRESSION_CHOICES, estimate_communication
 from repro.models.registry import available_models, create_model
 
 
@@ -165,11 +168,38 @@ def _add_reproduce(subparsers) -> None:
         help="directory for per-round checkpoints; re-running with the same "
         "directory resumes interrupted global-state algorithms",
     )
+    parser.add_argument(
+        "--compression",
+        choices=COMPRESSION_CHOICES,
+        default=None,
+        help="route every broadcast/upload through a wire codec and report "
+        "measured bytes: none (bit-exact float64 identity), float32/float16 "
+        "(cast), quantize (packed uniform quantization + DEFLATE, delta "
+        "uploads), topk (sparsified delta uploads with error feedback)",
+    )
+    parser.add_argument(
+        "--compression-bits",
+        type=int,
+        default=8,
+        help="bits per value for --compression quantize (1-16, default 8)",
+    )
+    parser.add_argument(
+        "--topk-fraction",
+        type=float,
+        default=0.1,
+        help="fraction of entries kept by --compression topk (default 0.1)",
+    )
     parser.set_defaults(handler=_cmd_reproduce)
 
 
 def _cmd_reproduce(args) -> int:
-    from repro.experiments import ExperimentRunner, comparison_table, format_rows, preset
+    from repro.experiments import (
+        ExperimentRunner,
+        communication_text,
+        comparison_table,
+        format_rows,
+        preset,
+    )
 
     config = preset(args.preset, model=args.model)
     if args.algorithms:
@@ -183,6 +213,10 @@ def _cmd_reproduce(args) -> int:
             backend=args.backend,
             workers=args.workers,
             checkpoint_dir=args.checkpoint_dir,
+        ).with_transport(
+            compression=args.compression,
+            compression_bits=args.compression_bits,
+            topk_fraction=args.topk_fraction,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -199,6 +233,9 @@ def _cmd_reproduce(args) -> int:
     measured = {row.algorithm: row.average_auc for row in result.rows}
     text += "\n\nAverage AUC, paper vs. this reproduction (synthetic substrate):\n"
     text += comparison_table(args.model, measured)
+    if args.compression is not None:
+        text += f"\n\nMeasured communication (--compression {args.compression}):\n"
+        text += communication_text(result)
     print(text)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.data.clients import ClientSpec, CorpusConfig, TABLE2_CLIENTS
 from repro.fl.config import FLConfig
 from repro.fl.execution import BACKENDS as EXECUTION_BACKENDS
+from repro.fl.transport import COMPRESSION_CHOICES
 from repro.models.registry import available_models
 
 #: Sentinel for "keep the current value" in :meth:`ExperimentConfig.with_execution`.
@@ -56,6 +57,17 @@ class ExperimentConfig:
     backend produces bit-identical results for the same seed.
     ``checkpoint_dir`` enables per-round checkpoint/resume for the
     global-state algorithms (one subdirectory per algorithm).
+
+    Transport options
+    -----------------
+    ``compression`` routes every broadcast and upload through a wire-codec
+    channel with measured byte accounting: ``None`` (raw in-process states,
+    no accounting), ``"none"`` (bit-exact float64 identity, measured),
+    ``"float32"`` / ``"float16"`` (cast), ``"quantize"``
+    (``compression_bits``-bit packed quantization + DEFLATE, delta-encoded
+    uploads), or ``"topk"`` (top-``topk_fraction`` sparsified delta uploads
+    with error feedback).  Serial and process execution stay bit-identical
+    under every setting.
     """
 
     name: str
@@ -69,6 +81,9 @@ class ExperimentConfig:
     backend: Optional[str] = None
     workers: Optional[int] = None
     checkpoint_dir: Optional[str] = None
+    compression: Optional[str] = None
+    compression_bits: int = 8
+    topk_fraction: float = 0.1
 
     def __post_init__(self):
         if self.model.lower() not in available_models():
@@ -89,6 +104,19 @@ class ExperimentConfig:
                 f"backend 'serial' cannot use {self.workers} workers; "
                 "drop the workers option or choose the 'process' backend"
             )
+        if self.compression is not None and self.compression not in COMPRESSION_CHOICES:
+            raise ValueError(
+                f"unknown compression {self.compression!r}; "
+                f"available: {COMPRESSION_CHOICES}"
+            )
+        if not 1 <= self.compression_bits <= 16:
+            raise ValueError(
+                f"compression_bits must be between 1 and 16, got {self.compression_bits}"
+            )
+        if not 0.0 < self.topk_fraction <= 1.0:
+            raise ValueError(
+                f"topk_fraction must be in (0, 1], got {self.topk_fraction}"
+            )
 
     def with_execution(
         self,
@@ -107,6 +135,26 @@ class ExperimentConfig:
             backend=self.backend if backend is _KEEP else backend,
             workers=self.workers if workers is _KEEP else workers,
             checkpoint_dir=self.checkpoint_dir if checkpoint_dir is _KEEP else checkpoint_dir,
+        )
+
+    def with_transport(
+        self,
+        compression: object = _KEEP,
+        compression_bits: object = _KEEP,
+        topk_fraction: object = _KEEP,
+    ) -> "ExperimentConfig":
+        """A copy of this configuration with different transport options.
+
+        Omitted options keep their current value; pass ``None`` explicitly
+        as ``compression`` to disable the transport layer.
+        """
+        return replace(
+            self,
+            compression=self.compression if compression is _KEEP else compression,
+            compression_bits=(
+                self.compression_bits if compression_bits is _KEEP else compression_bits
+            ),
+            topk_fraction=self.topk_fraction if topk_fraction is _KEEP else topk_fraction,
         )
 
     def with_model(self, model: str, **model_kwargs) -> "ExperimentConfig":

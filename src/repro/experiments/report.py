@@ -48,6 +48,84 @@ def load_result_texts(results_dir: PathLike) -> Dict[str, str]:
     return texts
 
 
+def _format_bytes(num_bytes: int) -> str:
+    """Human-friendly byte count (binary-free, decimal units)."""
+    value = float(num_bytes)
+    for unit in ("B", "kB", "MB", "GB"):
+        if value < 1000.0 or unit == "GB":
+            return f"{value:,.1f} {unit}" if unit != "B" else f"{int(value):,d} B"
+        value /= 1000.0
+    return f"{int(num_bytes):,d} B"  # pragma: no cover - unreachable
+
+
+def communication_markdown(result: ExperimentResult) -> str:
+    """A markdown table of *measured* per-round transport traffic.
+
+    One row per algorithm that ran through a transport channel: the uplink
+    and downlink codecs, mean measured uplink/downlink bytes per round, and
+    run totals.  Returns an explanatory placeholder when the experiment ran
+    without compression (no channel, nothing measured).
+    """
+    measured = [o for o in result.outcomes if o.communication is not None]
+    if not measured:
+        return "_No transport channel was active — run with a compression setting to measure bytes._"
+    lines = [
+        "| Method | Uplink codec | Downlink codec | Rounds | Uplink/round | Downlink/round | Total uplink | Total downlink |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for outcome in measured:
+        comm = outcome.communication
+        # Per-round means count only rounds with traffic in that direction
+        # (e.g. the fine-tuning pass broadcasts but never uploads).
+        up_rounds = max(len(comm.uplink_bytes_per_round), 1)
+        down_rounds = max(len(comm.downlink_bytes_per_round), 1)
+        lines.append(
+            f"| {outcome.algorithm} | {comm.uplink_codec} | {comm.downlink_codec} "
+            f"| {comm.rounds} "
+            f"| {_format_bytes(comm.total_uplink_bytes // up_rounds)} "
+            f"| {_format_bytes(comm.total_downlink_bytes // down_rounds)} "
+            f"| {_format_bytes(comm.total_uplink_bytes)} "
+            f"| {_format_bytes(comm.total_downlink_bytes)} |"
+        )
+    return "\n".join(lines)
+
+
+def communication_text(result: ExperimentResult) -> str:
+    """Plain-text rendering of the measured transport traffic (CLI output).
+
+    Per algorithm: codec description, per-round means, and totals.  Lines
+    are formatted so that a nonzero run is easy to assert on
+    (``total uplink <N> B``).
+    """
+    measured = [o for o in result.outcomes if o.communication is not None]
+    if not measured:
+        return "No transport channel was active; nothing was measured."
+    lines: List[str] = []
+    for outcome in measured:
+        comm = outcome.communication
+        # Per-round means count only rounds with traffic in that direction
+        # (e.g. the fine-tuning pass broadcasts but never uploads).
+        up_rounds = max(len(comm.uplink_bytes_per_round), 1)
+        down_rounds = max(len(comm.downlink_bytes_per_round), 1)
+        flags = []
+        if comm.delta_upload:
+            flags.append("delta uploads")
+        if comm.error_feedback:
+            flags.append("error feedback")
+        suffix = f" ({', '.join(flags)})" if flags else ""
+        lines.append(
+            f"{outcome.algorithm:<22} up {comm.uplink_codec} / down {comm.downlink_codec}{suffix}"
+        )
+        lines.append(
+            f"{'':<22} total uplink {comm.total_uplink_bytes:,d} B "
+            f"({comm.total_uplink_bytes // up_rounds:,d} B/round), "
+            f"total downlink {comm.total_downlink_bytes:,d} B "
+            f"({comm.total_downlink_bytes // down_rounds:,d} B/round) "
+            f"over {comm.rounds} round(s)"
+        )
+    return "\n".join(lines)
+
+
 def comparison_markdown(model: str, result: ExperimentResult, digits: int = 3) -> str:
     """A markdown paper-vs-measured table for one table experiment.
 

@@ -9,6 +9,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.data.clients import ClientData, CorpusBuilder
 from repro.fl import (
+    Channel,
+    ChannelSummary,
     CheckpointManager,
     EvaluationRow,
     ExecutionBackend,
@@ -17,6 +19,7 @@ from repro.fl import (
     TrainingResult,
     create_algorithm,
     create_backend,
+    create_channel,
     evaluate_result,
 )
 from repro.experiments.config import ExperimentConfig
@@ -50,6 +53,8 @@ class AlgorithmOutcome:
     evaluation: EvaluationRow
     training: TrainingResult
     runtime_seconds: float
+    #: Measured transport bytes (None when no compression channel was used).
+    communication: Optional[ChannelSummary] = None
 
 
 @dataclass
@@ -79,6 +84,9 @@ class ExperimentResult:
             entry: Dict[str, object] = {"method": outcome.algorithm}
             entry.update({k: round(v, 4) for k, v in outcome.evaluation.as_dict().items()})
             entry["runtime_s"] = round(outcome.runtime_seconds, 2)
+            if outcome.communication is not None:
+                entry["uplink_bytes"] = outcome.communication.total_uplink_bytes
+                entry["downlink_bytes"] = outcome.communication.total_downlink_bytes
             table.append(entry)
         return table
 
@@ -129,6 +137,19 @@ class ExperimentRunner:
         """
         return create_backend(self.config.backend, workers=self.config.workers)
 
+    def transport_channel(self) -> Optional[Channel]:
+        """A fresh transport channel for one algorithm run (or ``None``).
+
+        Channels are stateful (per-client delta references, error-feedback
+        residuals, and the measured-byte tracker), so every algorithm run
+        gets its own.
+        """
+        return create_channel(
+            self.config.compression,
+            compression_bits=self.config.compression_bits,
+            topk_fraction=self.config.topk_fraction,
+        )
+
     def _checkpoint_manager(self, algorithm: str) -> Optional[CheckpointManager]:
         """Per-algorithm checkpoint manager under the configured directory."""
         if self.config.checkpoint_dir is None:
@@ -150,6 +171,7 @@ class ExperimentRunner:
         clients = list(clients) if clients is not None else self.federated_clients()
         owns_backend = backend is None
         backend = backend if backend is not None else self.execution_backend()
+        channel = self.transport_channel()
         try:
             algorithm = create_algorithm(
                 name,
@@ -158,6 +180,7 @@ class ExperimentRunner:
                 self.config.fl,
                 backend=backend,
                 checkpoint=self._checkpoint_manager(name),
+                channel=channel,
             )
             start = time.perf_counter()
             training = algorithm.run()
@@ -171,6 +194,7 @@ class ExperimentRunner:
             evaluation=evaluation,
             training=training,
             runtime_seconds=runtime,
+            communication=channel.summary() if channel is not None else None,
         )
 
     def run(self, algorithms: Optional[Sequence[str]] = None) -> ExperimentResult:

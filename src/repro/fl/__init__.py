@@ -78,6 +78,18 @@ from repro.fl.communication import (
     state_num_parameters,
     topk_sparsify,
 )
+from repro.fl.transport import (
+    CODECS,
+    COMPRESSION_CHOICES,
+    Channel,
+    ChannelSummary,
+    Codec,
+    IdentityCodec,
+    Payload,
+    QuantizationCodec,
+    TopKCodec,
+    create_channel,
+)
 from repro.fl.config import PAPER_ASSIGNED_CLUSTERS, FLConfig, paper_fl_config, scaled_fl_config
 from repro.fl.execution import (
     BACKENDS,
@@ -156,6 +168,7 @@ def create_algorithm(
     config: FLConfig,
     backend: Optional[ExecutionBackend] = None,
     checkpoint: Optional[CheckpointManager] = None,
+    channel: Optional[Channel] = None,
 ) -> FederatedAlgorithm:
     """Instantiate a training algorithm from the registry by name.
 
@@ -172,6 +185,10 @@ def create_algorithm(
     checkpoint:
         Optional :class:`CheckpointManager` enabling per-round
         checkpoint/resume for the global-state algorithms.
+    channel:
+        Optional transport :class:`Channel` every broadcast and upload of
+        the run passes through (wire codec + measured byte accounting).  A
+        channel is stateful; use a fresh one per algorithm run.
     """
     key = name.lower()
     if key not in ALGORITHMS:
@@ -184,7 +201,9 @@ def create_algorithm(
             stacklevel=2,
         )
         checkpoint = None
-    return cls(clients, model_factory, config, backend=backend, checkpoint=checkpoint)
+    return cls(
+        clients, model_factory, config, backend=backend, checkpoint=checkpoint, channel=channel
+    )
 
 
 __all__ = [
@@ -246,6 +265,16 @@ __all__ = [
     "topk_sparsify",
     "quantize_state",
     "compression_error",
+    "CODECS",
+    "COMPRESSION_CHOICES",
+    "Codec",
+    "IdentityCodec",
+    "QuantizationCodec",
+    "TopKCodec",
+    "Payload",
+    "Channel",
+    "ChannelSummary",
+    "create_channel",
     "EvaluationRow",
     "evaluate_result",
     "evaluate_cross_client",

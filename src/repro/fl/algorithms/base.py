@@ -20,11 +20,18 @@ from repro.fl.execution import (
 )
 from repro.fl.parameters import State, clone_state
 from repro.fl.server import FederatedServer
+from repro.fl.transport import Channel
 from repro.models.base import RoutabilityModel
 
 ModelFactory = Callable[[], RoutabilityModel]
 
 logger = logging.getLogger("repro.fl")
+
+#: Transport modes accepted by :meth:`FederatedAlgorithm.map_client_updates`.
+TRANSPORT_BOTH = "both"  # broadcast and upload cross the channel (a round)
+TRANSPORT_DOWN = "down"  # broadcast only (results stay on the client)
+TRANSPORT_NONE = "none"  # no communication (e.g. locally created states)
+_TRANSPORT_MODES = (TRANSPORT_BOTH, TRANSPORT_DOWN, TRANSPORT_NONE)
 
 
 @dataclass
@@ -83,6 +90,13 @@ class FederatedAlgorithm:
     client-side computation to an :class:`~repro.fl.execution.ExecutionBackend`
     (serial by default, process-parallel with
     :class:`~repro.fl.execution.ProcessPoolBackend`).
+
+    When a :class:`~repro.fl.transport.Channel` is attached, every broadcast
+    (server → client) and upload (client → server) of the round passes
+    through its wire codec: clients train from the decoded downlink payload
+    and the server aggregates the decoded uploads, with every payload's real
+    byte size recorded by the channel's tracker.  Without a channel, states
+    move raw and in-process (the pre-transport behavior).
     """
 
     #: Registry / display name, overridden by subclasses.
@@ -102,6 +116,7 @@ class FederatedAlgorithm:
         server: Optional[FederatedServer] = None,
         backend: Optional[ExecutionBackend] = None,
         checkpoint: Optional[CheckpointManager] = None,
+        channel: Optional[Channel] = None,
     ):
         if not clients:
             raise ValueError("at least one client is required")
@@ -112,6 +127,20 @@ class FederatedAlgorithm:
         self.backend = backend if backend is not None else SerialBackend()
         self.backend.bind(self.clients)
         self.checkpoint = checkpoint
+        self.channel = channel
+        if channel is not None and checkpoint is not None:
+            if channel.error_feedback:
+                logger.warning(
+                    "%s: error-feedback residuals are not checkpointed; a resumed run "
+                    "will not be bit-identical to an uninterrupted one",
+                    self.name,
+                )
+            logger.warning(
+                "%s: the transport channel's measured-byte tracker is not "
+                "checkpointed; after a resume, reported communication covers "
+                "only the rounds trained in this process",
+                self.name,
+            )
 
     # -- helpers shared by subclasses -------------------------------------------
     def client_weights(self) -> List[float]:
@@ -128,13 +157,29 @@ class FederatedAlgorithm:
         steps: Optional[int] = None,
         proximal_mu: Optional[float] = None,
         op: str = "train",
+        transport: str = TRANSPORT_BOTH,
+        upload_names: Optional[Sequence[str]] = None,
     ) -> List[ClientUpdate]:
         """Run one client-side pass over every client via the backend.
 
         ``states`` is either a single global :data:`State` broadcast to every
         client or a sequence aligned with ``self.clients`` (one personalized
         starting state per client).  Results come back in client order.
+
+        ``transport`` says which directions of this pass are real
+        communication when a channel is attached: ``"both"`` (a normal
+        round: broadcast down, upload back), ``"down"`` (broadcast only —
+        e.g. fine-tuning, whose personalized result stays on the client),
+        or ``"none"`` (no wire at all — e.g. locally created initial
+        states).  ``upload_names`` restricts the upload to a subset of the
+        state (FedBN / FedProx-LG ship only their shared part; the private
+        part returns untouched).  Without a channel both flags are
+        irrelevant: states move raw.
         """
+        if transport not in _TRANSPORT_MODES:
+            raise ValueError(
+                f"unknown transport mode {transport!r}; expected one of {_TRANSPORT_MODES}"
+            )
         if isinstance(states, dict):
             per_client: Sequence[State] = [states] * len(self.clients)
         else:
@@ -144,17 +189,50 @@ class FederatedAlgorithm:
                     f"got {len(per_client)} states for {len(self.clients)} clients; "
                     "pass one state per client or a single broadcast state"
                 )
+
+        if self.channel is None or transport == TRANSPORT_NONE:
+            tasks = [
+                ClientTask(
+                    client_index=index,
+                    state=state,
+                    op=op,
+                    steps=steps,
+                    proximal_mu=proximal_mu,
+                )
+                for index, state in enumerate(per_client)
+            ]
+            return self.backend.map(tasks)
+
+        wire_tasks = self.channel.broadcast(
+            per_client,
+            [client.client_id for client in self.clients],
+            expect_upload=transport == TRANSPORT_BOTH,
+            partial_upload=upload_names is not None,
+        )
         tasks = [
             ClientTask(
                 client_index=index,
-                state=state,
+                wire=wire,
                 op=op,
                 steps=steps,
                 proximal_mu=proximal_mu,
             )
-            for index, state in enumerate(per_client)
+            for index, wire in enumerate(wire_tasks)
         ]
-        return self.backend.map(tasks)
+        updates = self.backend.map(tasks)
+        if transport == TRANSPORT_BOTH:
+            # Finish every upload in client order in the coordinating process
+            # (decode backend-encoded payloads; apply delta references and
+            # error feedback; record measured bytes).
+            for update in updates:
+                update.state = self.channel.receive(
+                    update.client_id,
+                    state=update.state,
+                    payload=update.payload,
+                    upload_names=upload_names,
+                )
+                update.payload = None
+        return updates
 
     # -- checkpointing ------------------------------------------------------------
     def checkpoint_fingerprint(self) -> Dict[str, object]:
@@ -164,9 +242,22 @@ class FederatedAlgorithm:
         a directory written by a different algorithm, seed, or client roster
         fails loudly instead of silently continuing from mismatched weights.
         The round budget is deliberately excluded: a checkpoint from a
-        shorter run is legitimately resumable into a longer one.
+        shorter run is legitimately resumable into a longer one.  The
+        transport settings are included whenever a channel is attached:
+        resuming a lossy-compressed run without its codec (or vice versa)
+        would silently mix trajectories.  Channel-less runs omit the key
+        entirely so checkpoints written before the transport layer existed
+        stay resumable.
         """
-        return {
+        fingerprint: Dict[str, object] = {}
+        if self.channel is not None:
+            fingerprint["transport"] = {
+                "uplink": self.channel.uplink_codec.describe(),
+                "downlink": self.channel.downlink_codec.describe(),
+                "delta_upload": self.channel.delta_upload,
+                "error_feedback": self.channel.error_feedback,
+            }
+        fingerprint.update({
             "algorithm": self.name,
             "seed": self.config.seed,
             "local_steps": self.config.local_steps,
@@ -177,7 +268,8 @@ class FederatedAlgorithm:
             "weight_decay": self.config.weight_decay,
             "loss": self.config.loss,
             "client_ids": [client.client_id for client in self.clients],
-        }
+        })
+        return fingerprint
 
     def load_checkpoint(self, reference_state: Optional[State] = None) -> Optional[RoundCheckpoint]:
         """Load the latest round checkpoint (if any) and restore client RNGs.

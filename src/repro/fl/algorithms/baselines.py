@@ -25,8 +25,10 @@ class LocalOnly(FederatedAlgorithm):
         steps = self.config.effective_local_steps
         # One distinct initialization per client, drawn in client order so the
         # factory's seed sequence is independent of the execution backend.
+        # The initial states are created locally on each client, so nothing
+        # crosses the wire (transport="none" keeps measured bytes at zero).
         initials = [self.model_factory().state_dict() for _ in self.clients]
-        updates = self.map_client_updates(initials, steps=steps, proximal_mu=0.0)
+        updates = self.map_client_updates(initials, steps=steps, proximal_mu=0.0, transport="none")
         per_client_loss: Dict[int, float] = {}
         for update in updates:
             result.client_states[update.client_id] = update.state

@@ -68,8 +68,14 @@ class FedBN(FederatedAlgorithm):
                 else clone_state(global_state)
                 for client in self.clients
             ]
+            # Only the globally shared part is uploaded (and billed); each
+            # client's private normalization parameters never cross the wire.
             updates = self.map_client_updates(
-                start_states, steps=self.config.local_steps, proximal_mu=mu
+                start_states,
+                steps=self.config.local_steps,
+                proximal_mu=mu,
+                transport="both" if global_names else "down",
+                upload_names=global_names if local_names and global_names else None,
             )
             returned: List[State] = []
             per_client_loss: Dict[int, float] = {}

@@ -4,27 +4,38 @@ Decentralized training replaces data movement with parameter movement, so the
 practical cost of every algorithm in this package is measured in bytes per
 round.  This module provides:
 
-* sizing helpers for model states (parameter counts and bytes at a chosen
-  precision);
+* sizing helpers for model states (parameter counts, real in-memory bytes,
+  and bytes at an explicitly chosen wire precision);
 * an analytic per-algorithm communication model (uplink/downlink per round
   and per training run) for every algorithm in the registry, which the
   communication benchmark turns into a table;
-* a :class:`CommunicationTracker` that algorithms or experiments can use to
-  record actual transfers;
+* a :class:`CommunicationTracker` that records *measured* transfers — the
+  transport channel feeds it real payload byte counts;
 * two classic update-compression schemes — top-k sparsification and uniform
-  quantization — with the byte savings they would realize on the wire.
+  quantization — expressed on top of the wire codecs in
+  :mod:`repro.fl.transport.codecs`, so the reported payload bytes are the
+  size of a payload that was actually encoded.
+
+Sizing conventions
+------------------
+:func:`state_bytes` with no precision argument sizes a state from each
+array's real ``itemsize`` (the pipeline stores float64, so a state costs 8
+bytes per value in memory and on an uncompressed wire).  The *analytic*
+estimator keeps the paper's float32 wire assumption by passing
+``BYTES_PER_FLOAT32`` explicitly, so its numbers stay comparable with the
+paper's; measured numbers come from real payloads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.fl.parameters import State, clone_state
+from repro.fl.parameters import State
 
-#: Bytes per parameter at single precision (what the paper's models would ship).
+#: Bytes per parameter at single precision (the paper's wire assumption).
 BYTES_PER_FLOAT32 = 4
 
 
@@ -33,8 +44,18 @@ def state_num_parameters(state: State) -> int:
     return int(sum(int(np.asarray(values).size) for values in state.values()))
 
 
-def state_bytes(state: State, bytes_per_value: int = BYTES_PER_FLOAT32) -> int:
-    """Size of a model state on the wire at ``bytes_per_value`` precision."""
+def state_bytes(state: State, bytes_per_value: Optional[int] = None) -> int:
+    """Size of a model state in bytes.
+
+    With ``bytes_per_value=None`` (the default) each array is sized from its
+    real ``itemsize`` — a float64 state costs 8 bytes per value, not an
+    assumed 4.  Pass an explicit precision (e.g. ``BYTES_PER_FLOAT32``) to
+    cost a hypothetical wire format instead.
+    """
+    if bytes_per_value is None:
+        return int(
+            sum(int(array.size) * int(array.itemsize) for array in map(np.asarray, state.values()))
+        )
     if bytes_per_value <= 0:
         raise ValueError("bytes_per_value must be positive")
     return state_num_parameters(state) * bytes_per_value
@@ -83,6 +104,10 @@ def estimate_communication(
 ) -> CommunicationReport:
     """Analytic uplink/downlink model of one algorithm.
 
+    The analytic model costs parameters at the paper's float32 wire
+    assumption (``BYTES_PER_FLOAT32``); measured numbers come from the
+    transport channel instead.
+
     Parameters
     ----------
     algorithm:
@@ -103,7 +128,7 @@ def estimate_communication(
         raise ValueError("global_fraction must be in (0, 1]")
     if num_clusters <= 0:
         raise ValueError("num_clusters must be positive")
-    size = state_bytes(state)
+    size = state_bytes(state, BYTES_PER_FLOAT32)
     shared = int(round(size * global_fraction))
     key = algorithm.lower()
 
@@ -138,22 +163,45 @@ def estimate_communication(
 
 
 class CommunicationTracker:
-    """Records actual parameter transfers during a training run."""
+    """Records measured parameter transfers during a training run.
+
+    The transport channel calls :meth:`record_upload` /
+    :meth:`record_download` with *real payload byte counts*; the
+    state-taking convenience loggers size a state from its actual array
+    ``itemsize`` (an uncompressed float64 wire).
+    """
 
     def __init__(self):
         self._uplink: List[Tuple[int, int, int]] = []  # (round, client, bytes)
         self._downlink: List[Tuple[int, int, int]] = []
 
+    # -- measured payload bytes -------------------------------------------------
+    def record_upload(self, round_index: int, client_id: int, num_bytes: int) -> None:
+        """Log one client → server transfer of ``num_bytes`` payload bytes."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self._uplink.append((int(round_index), int(client_id), int(num_bytes)))
+
+    def record_download(self, round_index: int, client_id: int, num_bytes: int) -> None:
+        """Log one server → client transfer of ``num_bytes`` payload bytes."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self._downlink.append((int(round_index), int(client_id), int(num_bytes)))
+
+    # -- state-taking conveniences ----------------------------------------------
     def log_upload(self, round_index: int, client_id: int, state: State) -> int:
+        """Log an uncompressed state upload; returns its real byte size."""
         size = state_bytes(state)
-        self._uplink.append((int(round_index), int(client_id), size))
+        self.record_upload(round_index, client_id, size)
         return size
 
     def log_download(self, round_index: int, client_id: int, state: State) -> int:
+        """Log an uncompressed state download; returns its real byte size."""
         size = state_bytes(state)
-        self._downlink.append((int(round_index), int(client_id), size))
+        self.record_download(round_index, client_id, size)
         return size
 
+    # -- aggregation --------------------------------------------------------------
     @property
     def total_uplink_bytes(self) -> int:
         return sum(size for _, _, size in self._uplink)
@@ -166,12 +214,24 @@ class CommunicationTracker:
     def total_bytes(self) -> int:
         return self.total_uplink_bytes + self.total_downlink_bytes
 
-    def per_round(self) -> Dict[int, int]:
-        """Total bytes (both directions) per round index."""
+    @staticmethod
+    def _by_round(records: List[Tuple[int, int, int]]) -> Dict[int, int]:
         totals: Dict[int, int] = {}
-        for round_index, _, size in self._uplink + self._downlink:
+        for round_index, _, size in records:
             totals[round_index] = totals.get(round_index, 0) + size
         return totals
+
+    def per_round(self) -> Dict[int, int]:
+        """Total bytes (both directions) per round index."""
+        return self._by_round(self._uplink + self._downlink)
+
+    def per_round_uplink(self) -> Dict[int, int]:
+        """Uplink bytes per round index."""
+        return self._by_round(self._uplink)
+
+    def per_round_downlink(self) -> Dict[int, int]:
+        """Downlink bytes per round index."""
+        return self._by_round(self._downlink)
 
     def per_client(self) -> Dict[int, int]:
         """Total bytes (both directions) per client id."""
@@ -198,54 +258,48 @@ class CompressionResult:
 
 
 def topk_sparsify(state: State, keep_fraction: float) -> CompressionResult:
-    """Keep only the largest-magnitude ``keep_fraction`` of entries.
+    """Keep exactly the largest-magnitude ``keep_fraction`` of entries.
 
-    The surviving values keep their exact value (the rest become zero); the
-    wire cost assumes a (4-byte index, 4-byte value) pair per surviving entry.
+    A convenience wrapper around
+    :class:`~repro.fl.transport.codecs.TopKCodec` with float64 values, so
+    the surviving entries keep their exact value (the rest become zero) and
+    selection is exact and deterministic: precisely
+    ``max(1, round(keep_fraction * total))`` entries survive, magnitude
+    ties broken toward the lower flat index.  ``payload_bytes`` is the size
+    of the actually encoded (4-byte index, 8-byte value) payload;
+    ``baseline_bytes`` is the state's real uncompressed size.
     """
-    if not 0.0 < keep_fraction <= 1.0:
-        raise ValueError("keep_fraction must be in (0, 1]")
-    total = state_num_parameters(state)
-    keep = max(int(round(total * keep_fraction)), 1)
-    flat = np.concatenate([np.asarray(values).ravel() for values in state.values()])
-    if keep >= total:
-        threshold = -np.inf
-    else:
-        threshold = np.partition(np.abs(flat), total - keep)[total - keep]
-    kept = 0
-    sparse: State = {}
-    for name, values in state.items():
-        mask = np.abs(values) >= threshold if np.isfinite(threshold) else np.ones_like(values, dtype=bool)
-        sparse[name] = np.where(mask, values, 0.0)
-        kept += int(mask.sum())
-    payload = kept * (4 + BYTES_PER_FLOAT32)
-    return CompressionResult(state=sparse, payload_bytes=payload, baseline_bytes=state_bytes(state))
+    from repro.fl.transport.codecs import TopKCodec
+
+    codec = TopKCodec(keep_fraction=keep_fraction, value_dtype="float64")
+    payload = codec.encode(state)
+    return CompressionResult(
+        state=codec.decode(payload),
+        payload_bytes=payload.num_bytes,
+        baseline_bytes=state_bytes(state),
+    )
 
 
 def quantize_state(state: State, num_bits: int = 8) -> CompressionResult:
     """Uniform per-tensor quantization to ``num_bits`` bits.
 
-    Values are quantized to a uniform grid between each tensor's min and max
-    and immediately de-quantized (what the receiver would reconstruct); the
-    wire cost is ``num_bits`` per value plus two floats of scale metadata per
+    A convenience wrapper around
+    :class:`~repro.fl.transport.codecs.QuantizationCodec` (without the
+    DEFLATE stage, so the payload size is deterministic): values are
+    quantized to a uniform grid between each tensor's min and max and the
+    returned state is exactly what the receiver reconstructs from the
+    packed payload — ``num_bits`` per value plus two float64 scales per
     tensor.
     """
-    if not 1 <= num_bits <= 16:
-        raise ValueError("num_bits must be between 1 and 16")
-    levels = 2**num_bits - 1
-    quantized: State = {}
-    for name, values in state.items():
-        array = np.asarray(values, dtype=np.float64)
-        low = float(array.min())
-        high = float(array.max())
-        span = high - low
-        if span == 0.0:
-            quantized[name] = array.copy()
-            continue
-        codes = np.round((array - low) / span * levels)
-        quantized[name] = low + codes / levels * span
-    payload = int(np.ceil(state_num_parameters(state) * num_bits / 8)) + 2 * BYTES_PER_FLOAT32 * len(state)
-    return CompressionResult(state=quantized, payload_bytes=payload, baseline_bytes=state_bytes(state))
+    from repro.fl.transport.codecs import QuantizationCodec
+
+    codec = QuantizationCodec(num_bits=num_bits, deflate=False)
+    payload = codec.encode(state)
+    return CompressionResult(
+        state=codec.decode(payload),
+        payload_bytes=payload.num_bytes,
+        baseline_bytes=state_bytes(state),
+    )
 
 
 def compression_error(original: State, compressed: State) -> float:

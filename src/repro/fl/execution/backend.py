@@ -39,6 +39,16 @@ one task per client
     A single ``map`` call may contain at most one task per client; chaining
     two updates of the same client within one call would make the RNG
     hand-off ambiguous.  Backends raise ``ValueError`` otherwise.
+
+Transport envelopes
+-------------------
+A task may carry a wire envelope (``ClientTask.wire``, built by
+:class:`repro.fl.transport.Channel`) instead of a raw state: the encoded
+downlink payload is decoded where the task runs, and — when the envelope
+requests it — the resulting state is encoded before it is returned.  For
+the process pool this means only compressed payloads cross the process
+boundary.  The decode/encode operations are pure functions of the payload,
+so the bit-identity contract above extends to every codec.
 """
 
 from __future__ import annotations
@@ -63,41 +73,72 @@ class ClientTask:
     """One unit of client-side work inside a communication round.
 
     ``client_index`` indexes into the client roster the backend was bound to
-    (not the client id); ``state`` is the model the client starts from.
+    (not the client id).  Exactly one of two inputs carries the starting
+    model: ``state`` (a raw in-process state) or ``wire`` (a transport
+    envelope — see :class:`repro.fl.transport.WireTask` — whose encoded
+    payload is decoded where the task runs).
     """
 
     client_index: int
-    state: State
+    state: Optional[State] = None
     op: str = TRAIN
     steps: Optional[int] = None
     proximal_mu: Optional[float] = None
+    wire: Optional[object] = None
 
     def __post_init__(self):
         if self.op not in _OPS:
             raise ValueError(f"unknown client op {self.op!r}; expected one of {_OPS}")
+        if (self.state is None) == (self.wire is None):
+            raise ValueError("a ClientTask needs exactly one of state= or wire=")
 
 
 @dataclass
 class ClientUpdate:
-    """The outcome of one :class:`ClientTask`."""
+    """The outcome of one :class:`ClientTask`.
+
+    ``state`` is the client's resulting model.  When the task carried a
+    wire envelope requesting backend-side upload encoding, ``state`` is
+    ``None`` and ``payload`` holds the encoded upload instead (the channel
+    decodes it in the coordinating process).
+    """
 
     client_index: int
     client_id: int
-    state: State
+    state: Optional[State]
     stats: StepStatistics
+    payload: Optional[object] = None
 
 
 def run_client_task(client, task: ClientTask):
-    """Execute ``task`` on ``client``; returns ``(new_state, stats)``.
+    """Execute ``task`` on ``client``; returns ``(new_state, payload, stats)``.
 
-    Shared by every backend so serial and parallel execution dispatch
-    identically.
+    Shared by every backend so serial and parallel execution dispatch (and
+    transport encode/decode) identically.  For a wire task, the starting
+    state is decoded from the envelope's payload here; when the envelope
+    requests backend-side upload encoding, the resulting state is encoded
+    (as a delta against the decoded start when ``delta_upload`` is set) and
+    returned as ``payload`` with ``new_state=None``.
     """
+    if task.wire is not None:
+        start_state = task.wire.down_codec.decode(task.wire.payload)
+    else:
+        start_state = task.state
     if task.op == TRAIN:
-        return client.local_train(task.state, steps=task.steps, proximal_mu=task.proximal_mu)
-    if task.op == FINETUNE:
-        return client.fine_tune(task.state, steps=task.steps)
-    raise ValueError(f"unknown client op {task.op!r}")  # pragma: no cover - guarded in __post_init__
+        new_state, stats = client.local_train(
+            start_state, steps=task.steps, proximal_mu=task.proximal_mu
+        )
+    elif task.op == FINETUNE:
+        new_state, stats = client.fine_tune(start_state, steps=task.steps)
+    else:  # pragma: no cover - guarded in __post_init__
+        raise ValueError(f"unknown client op {task.op!r}")
+    if task.wire is not None and task.wire.up_codec is not None:
+        if task.wire.delta_upload:
+            target = {name: new_state[name] - start_state[name] for name in new_state}
+        else:
+            target = new_state
+        return None, task.wire.up_codec.encode(target), stats
+    return new_state, None, stats
 
 
 def _check_one_task_per_client(tasks: Sequence[ClientTask]) -> None:
@@ -164,13 +205,14 @@ class SerialBackend(ExecutionBackend):
         updates: List[ClientUpdate] = []
         for task in tasks:
             client = self._clients[task.client_index]
-            state, stats = run_client_task(client, task)
+            state, payload, stats = run_client_task(client, task)
             updates.append(
                 ClientUpdate(
                     client_index=task.client_index,
                     client_id=client.client_id,
                     state=state,
                     stats=stats,
+                    payload=payload,
                 )
             )
         return updates
@@ -193,14 +235,17 @@ def _init_worker(clients: List) -> None:
 
 
 def _worker_run_task(payload):
-    index, op, state, steps, proximal_mu, rng_state = payload
-    if isinstance(state, bytes):
-        state = pickle.loads(state)
+    index, op, blob, is_wire, steps, proximal_mu, rng_state = payload
+    if isinstance(blob, bytes):
+        blob = pickle.loads(blob)
     client = _WORKER_CLIENTS[index]
     client.rng_state = rng_state
-    task = ClientTask(client_index=index, state=state, op=op, steps=steps, proximal_mu=proximal_mu)
-    new_state, stats = run_client_task(client, task)
-    return new_state, stats, client.rng_state
+    if is_wire:
+        task = ClientTask(client_index=index, wire=blob, op=op, steps=steps, proximal_mu=proximal_mu)
+    else:
+        task = ClientTask(client_index=index, state=blob, op=op, steps=steps, proximal_mu=proximal_mu)
+    new_state, upload_payload, stats = run_client_task(client, task)
+    return new_state, upload_payload, stats, client.rng_state
 
 
 def default_worker_count() -> int:
@@ -267,19 +312,23 @@ class ProcessPoolBackend(ExecutionBackend):
             return []
         _check_one_task_per_client(tasks)
         pool = self._ensure_pool()
-        # Broadcast rounds pass the *same* state object in every task; pickle
-        # each distinct state once and ship the blob, instead of re-serializing
-        # the full model per client.
+        # Broadcast rounds pass the *same* state (or wire envelope) object in
+        # every task; pickle each distinct one once and ship the blob, instead
+        # of re-serializing the full model per client.  Wire envelopes carry an
+        # already-encoded payload, so a compressed round ships compressed bytes
+        # across the process boundary in both directions.
         blobs: Dict[int, bytes] = {}
         for task in tasks:
-            key = id(task.state)
+            carrier = task.wire if task.wire is not None else task.state
+            key = id(carrier)
             if key not in blobs:
-                blobs[key] = pickle.dumps(task.state, protocol=pickle.HIGHEST_PROTOCOL)
+                blobs[key] = pickle.dumps(carrier, protocol=pickle.HIGHEST_PROTOCOL)
         payloads = [
             (
                 task.client_index,
                 task.op,
-                blobs[id(task.state)],
+                blobs[id(task.wire if task.wire is not None else task.state)],
+                task.wire is not None,
                 task.steps,
                 task.proximal_mu,
                 self._clients[task.client_index].rng_state,
@@ -288,7 +337,7 @@ class ProcessPoolBackend(ExecutionBackend):
         ]
         raw = pool.map(_worker_run_task, payloads)
         updates: List[ClientUpdate] = []
-        for task, (state, stats, rng_state) in zip(tasks, raw):
+        for task, (state, upload_payload, stats, rng_state) in zip(tasks, raw):
             client = self._clients[task.client_index]
             client.rng_state = rng_state
             updates.append(
@@ -297,6 +346,7 @@ class ProcessPoolBackend(ExecutionBackend):
                     client_id=client.client_id,
                     state=state,
                     stats=stats,
+                    payload=upload_payload,
                 )
             )
         return updates

@@ -24,8 +24,10 @@ class FedProxFineTuning(FedProx):
         result = TrainingResult(algorithm=self.name, history=list(federated.history))
         result.global_state = federated.global_state
 
+        # Fine-tuning downloads the converged global model once more, but the
+        # personalized result is deployed on the client and never uploaded.
         updates = self.map_client_updates(
-            federated.global_state, steps=self.config.finetune_steps, op="finetune"
+            federated.global_state, steps=self.config.finetune_steps, op="finetune", transport="down"
         )
         per_client_loss: Dict[int, float] = {}
         for update in updates:

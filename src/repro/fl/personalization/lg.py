@@ -46,8 +46,14 @@ class FedProxLG(FederatedAlgorithm):
                 self.server.merge_global_local(global_part, client_full_states[client.client_id])
                 for client in self.clients
             ]
+            # Only the shared (global + buffer) part is uploaded and billed;
+            # the local part never leaves the client.
             updates = self.map_client_updates(
-                start_states, steps=self.config.local_steps, proximal_mu=mu
+                start_states,
+                steps=self.config.local_steps,
+                proximal_mu=mu,
+                transport="both" if shared_names else "down",
+                upload_names=shared_names if local_names and shared_names else None,
             )
             returned_states: List[State] = []
             per_client_loss: Dict[int, float] = {}

@@ -1,0 +1,46 @@
+"""Wire-level transport: codecs, payloads, and the channel.
+
+This subpackage turns communication from a side-calculation into a
+first-class subsystem: a :class:`Codec` encodes a model state into a real
+byte payload (and back), and a :class:`Channel` routes every broadcast and
+upload of a training run through a codec while recording *measured* payload
+bytes.  See :mod:`repro.fl.transport.codecs` for the wire formats and
+:mod:`repro.fl.transport.channel` for delta-encoded uploads and error
+feedback.
+"""
+
+from repro.fl.transport.codecs import (
+    CODECS,
+    Codec,
+    IdentityCodec,
+    Payload,
+    QuantizationCodec,
+    TopKCodec,
+    packed_code_bytes,
+    state_schema,
+    topk_flat_indices,
+)
+from repro.fl.transport.channel import (
+    COMPRESSION_CHOICES,
+    Channel,
+    ChannelSummary,
+    WireTask,
+    create_channel,
+)
+
+__all__ = [
+    "CODECS",
+    "Codec",
+    "IdentityCodec",
+    "QuantizationCodec",
+    "TopKCodec",
+    "Payload",
+    "packed_code_bytes",
+    "state_schema",
+    "topk_flat_indices",
+    "COMPRESSION_CHOICES",
+    "Channel",
+    "ChannelSummary",
+    "WireTask",
+    "create_channel",
+]

@@ -1,0 +1,346 @@
+"""Wire-level codecs: how a model state becomes bytes (and comes back).
+
+The decentralized setting is costed in bytes per round, so compression must
+be measured on *real payloads*, not estimated.  A :class:`Codec` turns a
+:data:`~repro.fl.parameters.State` into a :class:`Payload` — one contiguous
+byte string plus the static tensor schema — and back:
+
+:class:`IdentityCodec`
+    Ships every value verbatim at a chosen float precision.  At ``float64``
+    the encode → decode round trip is **bit-exact** (the pipeline dtype);
+    ``float32``/``float16`` are lossy casts.
+:class:`QuantizationCodec`
+    Uniform per-tensor quantization: each tensor ships its ``float64``
+    min/max followed by ``num_bits``-wide codes packed into bytes.  Decoding
+    reconstructs exactly the values :func:`repro.fl.communication.quantize_state`
+    used to simulate.  An optional DEFLATE stage losslessly compresses the
+    packed stream (effective on the concentrated code distributions of
+    delta-encoded uploads).
+:class:`TopKCodec`
+    Magnitude top-k sparsification with **exact, deterministic** selection:
+    a stable sort keeps precisely ``k`` entries, breaking magnitude ties in
+    favor of the lower flat index.  The payload is a ``uint32`` count, the
+    sorted ``uint32`` indices, and the surviving values at ``value_dtype``.
+
+Byte accounting
+---------------
+``Payload.num_bytes`` is ``len(payload.data)`` — every dynamic quantity
+(values, codes, scales, indices, counts) lives inside ``data`` and is
+counted.  Only the static tensor schema (names and shapes, knowable to both
+endpoints from the model architecture) rides outside the byte count, the
+way a real protocol would negotiate it once per session.
+
+All codecs are deterministic (same state → same bytes), stateless, and
+cheap to pickle, so payloads and codecs can cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.fl.parameters import State
+
+#: Static per-tensor schema entry: (name, shape).
+TensorSpec = Tuple[str, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class Payload:
+    """One encoded model state: a contiguous byte string plus its schema.
+
+    ``data`` holds everything dynamic; ``schema`` is the static tensor
+    layout (sorted name order) that both endpoints know from the model
+    architecture and is therefore excluded from the byte count.
+    """
+
+    codec: str
+    data: bytes
+    schema: Tuple[TensorSpec, ...]
+
+    @property
+    def num_bytes(self) -> int:
+        """Measured wire cost of this payload."""
+        return len(self.data)
+
+
+def state_schema(state: State) -> Tuple[TensorSpec, ...]:
+    """The static (name, shape) layout of a state, in sorted name order."""
+    return tuple((name, tuple(np.asarray(state[name]).shape)) for name in sorted(state))
+
+
+def _flatten_sorted(state: State) -> np.ndarray:
+    """Concatenate all tensors into one float64 vector in sorted name order."""
+    return np.concatenate(
+        [np.asarray(state[name], dtype=np.float64).ravel() for name in sorted(state)]
+    )
+
+
+def _split_by_schema(flat: np.ndarray, schema: Tuple[TensorSpec, ...]) -> State:
+    """Invert :func:`_flatten_sorted` using the static schema."""
+    state: State = {}
+    offset = 0
+    for name, shape in schema:
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        state[name] = flat[offset : offset + size].reshape(shape).copy()
+        offset += size
+    return state
+
+
+def _pack_codes(codes: np.ndarray, num_bits: int) -> bytes:
+    """Pack non-negative integer codes (< 2**num_bits) at num_bits per value."""
+    if codes.size == 0:
+        return b""
+    values = codes.astype(np.int64)
+    shifts = np.arange(num_bits - 1, -1, -1, dtype=np.int64)
+    bits = ((values[:, None] >> shifts) & 1).astype(np.uint8)
+    return np.packbits(bits.ravel()).tobytes()
+
+
+def _unpack_codes(data: bytes, num_bits: int, count: int) -> np.ndarray:
+    """Invert :func:`_pack_codes`; returns int64 codes of length ``count``."""
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))[: count * num_bits]
+    weights = np.left_shift(1, np.arange(num_bits - 1, -1, -1, dtype=np.int64))
+    return bits.reshape(count, num_bits).astype(np.int64) @ weights
+
+
+def packed_code_bytes(count: int, num_bits: int) -> int:
+    """Bytes occupied by ``count`` codes packed at ``num_bits`` per value."""
+    return int(np.ceil(count * num_bits / 8))
+
+
+def topk_flat_indices(flat: np.ndarray, keep: int) -> np.ndarray:
+    """The flat indices of the ``keep`` largest-magnitude entries, exactly.
+
+    Selection is deterministic: a stable sort on descending magnitude breaks
+    ties in favor of the lower flat index, so exactly ``keep`` entries
+    survive regardless of duplicated magnitudes.  Returned indices are
+    sorted ascending (the wire order).
+    """
+    keep = int(keep)
+    if keep >= flat.size:
+        return np.arange(flat.size, dtype=np.int64)
+    order = np.argsort(-np.abs(flat), kind="stable")
+    return np.sort(order[:keep]).astype(np.int64)
+
+
+class Codec:
+    """Interface every wire codec implements.
+
+    ``encode`` must be deterministic; ``decode(encode(state))`` returns
+    float64 arrays owned by the caller.  ``lossless`` advertises whether the
+    round trip is bit-exact.
+    """
+
+    #: Registry / display name, overridden by subclasses.
+    name: str = "base"
+    #: Whether decode(encode(state)) is bit-exact.
+    lossless: bool = False
+
+    def encode(self, state: State) -> Payload:
+        raise NotImplementedError
+
+    def decode(self, payload: Payload) -> State:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable label used in reports (e.g. ``quantize-8b``)."""
+        return self.name
+
+    def _check_payload(self, payload: Payload) -> None:
+        if payload.codec != self.name:
+            raise ValueError(
+                f"payload was encoded by codec {payload.codec!r}, "
+                f"but decode was called on {self.name!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}({self.describe()!r})"
+
+
+class IdentityCodec(Codec):
+    """Ships every value verbatim at a chosen float precision.
+
+    ``float64`` is bit-exact (the pipeline's native dtype); ``float32`` and
+    ``float16`` round each value to the nearest representable float of that
+    width.  Decoded arrays are always float64 (the values of the cast).
+    """
+
+    name = "identity"
+
+    def __init__(self, dtype: str = "float64"):
+        wire_dtype = np.dtype(dtype)
+        if wire_dtype not in (np.dtype("float64"), np.dtype("float32"), np.dtype("float16")):
+            raise ValueError(f"identity codec dtype must be a float type, got {dtype!r}")
+        self.dtype = wire_dtype
+        self.lossless = wire_dtype == np.dtype("float64")
+
+    def describe(self) -> str:
+        return f"identity-{self.dtype.name}"
+
+    def encode(self, state: State) -> Payload:
+        chunks: List[bytes] = []
+        for name in sorted(state):
+            array = np.ascontiguousarray(np.asarray(state[name], dtype=self.dtype))
+            chunks.append(array.tobytes())
+        return Payload(codec=self.name, data=b"".join(chunks), schema=state_schema(state))
+
+    def decode(self, payload: Payload) -> State:
+        self._check_payload(payload)
+        itemsize = self.dtype.itemsize
+        state: State = {}
+        offset = 0
+        for name, shape in payload.schema:
+            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            raw = np.frombuffer(payload.data, dtype=self.dtype, count=size, offset=offset)
+            state[name] = raw.reshape(shape).astype(np.float64)
+            offset += size * itemsize
+        return state
+
+
+class QuantizationCodec(Codec):
+    """Uniform per-tensor quantization with real packed payloads.
+
+    Per tensor (sorted name order) the stream holds the float64 ``low`` and
+    ``high`` followed by ``num_bits``-wide codes packed into bytes; a tensor
+    whose values are all equal ships scales only.  Decoding evaluates
+    ``low + codes / levels * span`` — exactly the reconstruction
+    :func:`repro.fl.communication.quantize_state` simulates.
+
+    ``deflate=True`` adds a lossless DEFLATE stage over the whole stream;
+    the measured payload is the compressed size.
+    """
+
+    name = "quantize"
+
+    def __init__(self, num_bits: int = 8, deflate: bool = True):
+        if not 1 <= int(num_bits) <= 16:
+            raise ValueError("num_bits must be between 1 and 16")
+        self.num_bits = int(num_bits)
+        self.deflate = bool(deflate)
+
+    @property
+    def levels(self) -> int:
+        return 2**self.num_bits - 1
+
+    def describe(self) -> str:
+        suffix = "+deflate" if self.deflate else ""
+        return f"quantize-{self.num_bits}b{suffix}"
+
+    def encode(self, state: State) -> Payload:
+        sections: List[bytes] = []
+        for name in sorted(state):
+            array = np.asarray(state[name], dtype=np.float64)
+            low = float(array.min())
+            high = float(array.max())
+            sections.append(struct.pack("<dd", low, high))
+            span = high - low
+            if span == 0.0:
+                continue
+            codes = np.round((array - low) / span * self.levels)
+            sections.append(_pack_codes(codes.ravel(), self.num_bits))
+        data = b"".join(sections)
+        if self.deflate:
+            data = zlib.compress(data, 6)
+        return Payload(codec=self.name, data=data, schema=state_schema(state))
+
+    def decode(self, payload: Payload) -> State:
+        self._check_payload(payload)
+        data = zlib.decompress(payload.data) if self.deflate else payload.data
+        levels = self.levels
+        state: State = {}
+        offset = 0
+        for name, shape in payload.schema:
+            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            low, high = struct.unpack_from("<dd", data, offset)
+            offset += 16
+            span = high - low
+            if span == 0.0:
+                state[name] = np.full(shape, low, dtype=np.float64)
+                continue
+            nbytes = packed_code_bytes(size, self.num_bits)
+            codes = _unpack_codes(data[offset : offset + nbytes], self.num_bits, size)
+            offset += nbytes
+            values = low + codes.astype(np.float64) / levels * span
+            state[name] = values.reshape(shape)
+        return state
+
+
+class TopKCodec(Codec):
+    """Magnitude top-k sparsification with exact, deterministic selection.
+
+    The state is flattened in sorted name order; exactly
+    ``max(1, round(keep_fraction * total))`` entries survive (stable-sort
+    tie-breaking on the lower flat index).  The payload is
+    ``[uint32 count][uint32 indices ascending][values at value_dtype]``;
+    everything else decodes to zero.  Designed for *updates* (deltas): pair
+    it with a delta-encoding channel and error feedback.
+    """
+
+    name = "topk"
+
+    def __init__(
+        self,
+        keep_fraction: float = 0.1,
+        value_dtype: str = "float32",
+        deflate: bool = False,
+    ):
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in (0, 1]")
+        wire_dtype = np.dtype(value_dtype)
+        if wire_dtype not in (np.dtype("float64"), np.dtype("float32"), np.dtype("float16")):
+            raise ValueError(f"topk value_dtype must be a float type, got {value_dtype!r}")
+        self.keep_fraction = float(keep_fraction)
+        self.value_dtype = wire_dtype
+        self.deflate = bool(deflate)
+
+    def describe(self) -> str:
+        suffix = "+deflate" if self.deflate else ""
+        return f"topk-{self.keep_fraction:g}-{self.value_dtype.name}{suffix}"
+
+    def keep_count(self, total: int) -> int:
+        """Exactly how many entries survive for a state of ``total`` values."""
+        return max(int(round(total * self.keep_fraction)), 1)
+
+    def encode(self, state: State) -> Payload:
+        flat = _flatten_sorted(state)
+        keep = self.keep_count(flat.size)
+        indices = topk_flat_indices(flat, keep)
+        values = np.ascontiguousarray(flat[indices].astype(self.value_dtype))
+        data = (
+            struct.pack("<I", indices.size)
+            + indices.astype(np.uint32).tobytes()
+            + values.tobytes()
+        )
+        if self.deflate:
+            data = zlib.compress(data, 6)
+        return Payload(codec=self.name, data=data, schema=state_schema(state))
+
+    def decode(self, payload: Payload) -> State:
+        self._check_payload(payload)
+        data = zlib.decompress(payload.data) if self.deflate else payload.data
+        (count,) = struct.unpack_from("<I", data, 0)
+        indices = np.frombuffer(data, dtype=np.uint32, count=count, offset=4).astype(np.int64)
+        values = np.frombuffer(
+            data, dtype=self.value_dtype, count=count, offset=4 + 4 * count
+        ).astype(np.float64)
+        total = sum(
+            int(np.prod(shape, dtype=np.int64)) if shape else 1 for _, shape in payload.schema
+        )
+        flat = np.zeros(total, dtype=np.float64)
+        flat[indices] = values
+        return _split_by_schema(flat, payload.schema)
+
+
+#: Registry of wire codecs, keyed by their registry name.
+CODECS: Dict[str, Type[Codec]] = {
+    IdentityCodec.name: IdentityCodec,
+    QuantizationCodec.name: QuantizationCodec,
+    TopKCodec.name: TopKCodec,
+}

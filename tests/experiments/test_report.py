@@ -5,13 +5,15 @@ import pytest
 from repro.experiments import smoke
 from repro.experiments.report import (
     RESULT_DESCRIPTIONS,
+    communication_markdown,
+    communication_text,
     comparison_markdown,
     load_result_texts,
     results_report,
     write_results_report,
 )
 from repro.experiments.runner import AlgorithmOutcome, ExperimentResult
-from repro.fl import TrainingResult
+from repro.fl import ChannelSummary, TrainingResult
 from repro.fl.evaluation import EvaluationRow
 
 
@@ -101,3 +103,42 @@ class TestComparisonMarkdown:
         lines = table.splitlines()
         assert lines[0] == "| Method | Paper avg | Measured avg |"
         assert lines[1] == "|---|---|---|"
+
+
+def _summary(uplink=1000, downlink=2000, rounds=2):
+    return ChannelSummary(
+        uplink_codec="quantize-8b+deflate",
+        downlink_codec="quantize-8b+deflate",
+        delta_upload=True,
+        error_feedback=False,
+        rounds=rounds,
+        total_uplink_bytes=uplink,
+        total_downlink_bytes=downlink,
+        uplink_bytes_per_round={0: uplink // rounds, 1: uplink // rounds},
+        downlink_bytes_per_round={0: downlink // rounds, 1: downlink // rounds},
+    )
+
+
+class TestCommunicationReport:
+    def test_no_channel_placeholder(self):
+        result = _fake_result()
+        assert "No transport channel" in communication_markdown(result)
+        assert "nothing was measured" in communication_text(result)
+
+    def test_markdown_lists_measured_algorithms(self):
+        result = _fake_result()
+        result.outcomes[1].communication = _summary()
+        table = communication_markdown(result)
+        lines = table.splitlines()
+        assert lines[0].startswith("| Method | Uplink codec |")
+        assert len(lines) == 3  # header + separator + the one measured row
+        assert "fedprox" in lines[2]
+        assert "quantize-8b+deflate" in lines[2]
+
+    def test_text_contains_greppable_totals(self):
+        result = _fake_result()
+        result.outcomes[0].communication = _summary(uplink=123456, downlink=7890)
+        text = communication_text(result)
+        assert "total uplink 123,456 B" in text
+        assert "total downlink 7,890 B" in text
+        assert "delta uploads" in text

@@ -29,9 +29,24 @@ class TestStateSizing:
         state = _state()
         assert state_num_parameters(state) == 8 * 4 * 3 * 3 + 8
 
-    def test_bytes_at_float32(self):
+    def test_bytes_default_uses_real_itemsize(self):
+        # The pipeline stores float64, so a state really costs 8 bytes per
+        # value — not the 4 an assumed-float32 sizing would claim.
         state = _state()
-        assert state_bytes(state) == state_num_parameters(state) * BYTES_PER_FLOAT32
+        assert state_bytes(state) == state_num_parameters(state) * 8
+
+    def test_bytes_mixed_dtypes(self):
+        state = {
+            "w64": np.zeros(10, dtype=np.float64),
+            "w32": np.zeros(10, dtype=np.float32),
+            "w16": np.zeros(10, dtype=np.float16),
+        }
+        assert state_bytes(state) == 10 * (8 + 4 + 2)
+
+    def test_bytes_at_explicit_precision(self):
+        state = _state()
+        expected = state_num_parameters(state) * BYTES_PER_FLOAT32
+        assert state_bytes(state, bytes_per_value=BYTES_PER_FLOAT32) == expected
 
     def test_bytes_validates_precision(self):
         with pytest.raises(ValueError):
@@ -95,6 +110,26 @@ class TestCommunicationTracker:
         assert tracker.per_round() == {0: 2 * size, 1: size}
         assert tracker.per_client() == {1: 2 * size, 2: size}
 
+    def test_log_sizes_from_real_itemsize(self):
+        # log_upload/log_download must size from the arrays' actual dtype,
+        # not an assumed 4 bytes per value.
+        tracker = CommunicationTracker()
+        state = {"w": np.zeros((4, 4), dtype=np.float64)}
+        assert tracker.log_upload(0, 1, state) == 16 * 8
+        assert tracker.log_download(0, 1, {"w": np.zeros(6, dtype=np.float32)}) == 6 * 4
+
+    def test_measured_payload_records(self):
+        tracker = CommunicationTracker()
+        tracker.record_upload(0, 1, 100)
+        tracker.record_upload(1, 1, 150)
+        tracker.record_download(0, 2, 70)
+        assert tracker.total_uplink_bytes == 250
+        assert tracker.total_downlink_bytes == 70
+        assert tracker.per_round_uplink() == {0: 100, 1: 150}
+        assert tracker.per_round_downlink() == {0: 70}
+        with pytest.raises(ValueError):
+            tracker.record_upload(0, 1, -1)
+
 
 class TestTopkSparsify:
     def test_keeps_requested_fraction(self):
@@ -115,6 +150,27 @@ class TestTopkSparsify:
         result = topk_sparsify(state, keep_fraction=0.4)
         surviving = set(np.flatnonzero(result.state["w"]))
         assert surviving == {1, 3}
+
+    def test_exact_count_under_ties(self):
+        # Every entry has the same magnitude; a threshold-based selection
+        # would keep all of them and understate the advertised byte budget.
+        # Exact selection keeps precisely round(0.5 * 8) = 4 entries,
+        # breaking ties toward the lower flat index.
+        state = {"w": np.full(8, 3.0)}
+        result = topk_sparsify(state, keep_fraction=0.5)
+        surviving = np.flatnonzero(result.state["w"])
+        assert list(surviving) == [0, 1, 2, 3]
+        # 4-byte count header + 4 survivors at (4-byte index + 8-byte value).
+        assert result.payload_bytes == 4 + 4 * (4 + 8)
+
+    def test_selection_is_deterministic(self):
+        rng = np.random.default_rng(9)
+        state = {"w": rng.normal(size=257)}
+        first = topk_sparsify(state, keep_fraction=0.13)
+        second = topk_sparsify(state, keep_fraction=0.13)
+        np.testing.assert_array_equal(first.state["w"], second.state["w"])
+        expected_keep = max(int(round(257 * 0.13)), 1)
+        assert int(np.count_nonzero(first.state["w"])) == expected_keep
 
     def test_invalid_fraction(self):
         with pytest.raises(ValueError):

@@ -97,6 +97,53 @@ class TestStateArithmetic:
         assert average_pairwise_distance(states) == pytest.approx(state_distance(*states))
         assert average_pairwise_distance(states[:1]) == 0.0
 
+    def test_average_pairwise_distance_matches_loop(self):
+        # Parity between the vectorized (flattened-matrix, direct-difference)
+        # implementation and the original O(n^2) state_distance loop it
+        # replaced.
+        rng = np.random.default_rng(17)
+        states = [
+            {"w": rng.normal(size=(3, 2)), "b": rng.normal(size=4)} for _ in range(6)
+        ]
+        loop_distances = [
+            state_distance(states[i], states[j])
+            for i in range(len(states))
+            for j in range(i + 1, len(states))
+        ]
+        expected = float(np.mean(loop_distances))
+        assert average_pairwise_distance(states) == pytest.approx(expected, rel=1e-9)
+
+    def test_average_pairwise_distance_no_cancellation(self):
+        # States that differ by ~1e-8 on top of O(10) parameter norms:
+        # a Gram-identity implementation loses the difference to rounding;
+        # direct differencing must agree with the loop at full precision.
+        rng = np.random.default_rng(23)
+        base = {"w": 10.0 + rng.normal(size=50)}
+        states = [
+            {"w": base["w"] + 1e-8 * rng.normal(size=50)} for _ in range(3)
+        ]
+        loop = float(
+            np.mean(
+                [
+                    state_distance(states[i], states[j])
+                    for i in range(3)
+                    for j in range(i + 1, 3)
+                ]
+            )
+        )
+        assert loop > 0
+        assert average_pairwise_distance(states) == pytest.approx(loop, rel=1e-9)
+
+    def test_average_pairwise_distance_identical_states(self):
+        # The Gram identity must not produce NaN (negative rounding under
+        # the square root) when every state is identical.
+        states = [make_state(1.5) for _ in range(4)]
+        assert average_pairwise_distance(states) == 0.0
+
+    def test_average_pairwise_distance_checks_compatibility(self):
+        with pytest.raises(ValueError):
+            average_pairwise_distance([make_state(0.0), {"other": np.zeros(3)}])
+
     @given(st.lists(st.floats(-10, 10), min_size=2, max_size=6))
     @settings(max_examples=40, deadline=None)
     def test_weighted_average_bounded_by_extremes(self, values):

@@ -1,0 +1,518 @@
+"""Tests for the wire-level transport subsystem: codecs and the channel.
+
+The central guarantees under test:
+
+* every codec's encode → decode round trip is exact where promised
+  (bit-exact for float64 identity, quantization-grid-exact for
+  ``QuantizationCodec`` — matching what ``quantize_state`` simulates —
+  and exact surviving values for ``TopKCodec``),
+* payload byte counts are real (``len(data)``) and deterministic,
+* a training run routed through an ``IdentityCodec`` float64 channel is
+  bit-identical to one without any channel,
+* serial and process-pool execution stay bit-identical under every codec,
+* top-k sparsified delta uploads with error feedback still converge.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.fl import (
+    Channel,
+    FederatedClient,
+    FLConfig,
+    IdentityCodec,
+    ProcessPoolBackend,
+    QuantizationCodec,
+    SeededModelFactory,
+    SerialBackend,
+    TopKCodec,
+    create_algorithm,
+    create_channel,
+    quantize_state,
+    state_bytes,
+)
+from repro.fl.parameters import flatten_state
+from repro.fl.transport import packed_code_bytes, topk_flat_indices
+from repro.models import FLNet
+
+TINY_CONFIG = FLConfig(
+    rounds=2,
+    local_steps=2,
+    finetune_steps=3,
+    learning_rate=3e-3,
+    batch_size=2,
+    num_clusters=2,
+    assigned_clusters=((1, 0), (2, 1)),
+    ifca_eval_batches=1,
+    proximal_mu=1e-3,
+)
+
+
+def _state(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "conv.weight": rng.normal(size=(4, 3, 3, 3)),
+        "conv.bias": rng.normal(size=4),
+        "scale": np.full((2, 2), 1.25),
+    }
+
+
+def states_equal(left, right) -> bool:
+    return set(left) == set(right) and all(np.array_equal(left[k], right[k]) for k in left)
+
+
+class TinyModelBuilder:
+    """Module-level builder so clients stay picklable for the process pool."""
+
+    def __init__(self, channels: int):
+        self.channels = channels
+
+    def __call__(self, seed: int) -> FLNet:
+        return FLNet(self.channels, hidden_filters=8, kernel_size=5, seed=seed)
+
+
+def make_factory(num_channels: int) -> SeededModelFactory:
+    return SeededModelFactory(TinyModelBuilder(num_channels), base_seed=0)
+
+
+@pytest.fixture
+def make_clients(
+    tiny_train_dataset,
+    tiny_test_dataset,
+    tiny_train_dataset_itc,
+    tiny_test_dataset_itc,
+    num_channels,
+):
+    """A callable producing a *fresh* 2-client roster (fresh RNG streams)."""
+
+    def build(config: FLConfig = TINY_CONFIG):
+        factory = make_factory(num_channels)
+        return [
+            FederatedClient(1, tiny_train_dataset, tiny_test_dataset, factory, config),
+            FederatedClient(2, tiny_train_dataset_itc, tiny_test_dataset_itc, factory, config),
+        ]
+
+    return build
+
+
+class TestIdentityCodec:
+    def test_float64_roundtrip_bit_exact(self):
+        state = _state(1)
+        codec = IdentityCodec("float64")
+        decoded = codec.decode(codec.encode(state))
+        assert states_equal(state, decoded)
+        assert codec.lossless
+
+    def test_float64_payload_bytes_are_real_size(self):
+        state = _state(2)
+        payload = IdentityCodec("float64").encode(state)
+        assert payload.num_bytes == state_bytes(state)
+
+    @pytest.mark.parametrize("dtype", ["float32", "float16"])
+    def test_cast_roundtrip_matches_astype(self, dtype):
+        state = _state(3)
+        codec = IdentityCodec(dtype)
+        decoded = codec.decode(codec.encode(state))
+        for name, values in state.items():
+            expected = values.astype(dtype).astype(np.float64)
+            np.testing.assert_array_equal(decoded[name], expected)
+            assert decoded[name].dtype == np.float64
+
+    def test_payload_scales_with_dtype(self):
+        state = _state(4)
+        full = IdentityCodec("float64").encode(state).num_bytes
+        half = IdentityCodec("float32").encode(state).num_bytes
+        quarter = IdentityCodec("float16").encode(state).num_bytes
+        assert full == 2 * half == 4 * quarter
+
+    def test_rejects_non_float_dtype(self):
+        with pytest.raises(ValueError):
+            IdentityCodec("int32")
+
+    def test_decode_rejects_foreign_payload(self):
+        payload = QuantizationCodec(8).encode(_state())
+        with pytest.raises(ValueError, match="encoded by codec"):
+            IdentityCodec("float64").decode(payload)
+
+
+class TestQuantizationCodec:
+    @pytest.mark.parametrize("num_bits", [1, 4, 8, 12, 16])
+    @pytest.mark.parametrize("deflate", [False, True])
+    def test_decode_matches_simulation_exactly(self, num_bits, deflate):
+        # The codec must reconstruct exactly the values quantize_state
+        # simulated (same grid, same float operations).
+        state = _state(5)
+        codec = QuantizationCodec(num_bits, deflate=deflate)
+        decoded = codec.decode(codec.encode(state))
+        simulated = quantize_state(state, num_bits=num_bits).state
+        assert states_equal(decoded, simulated)
+
+    def test_error_within_quantization_grid(self):
+        state = _state(6)
+        codec = QuantizationCodec(8, deflate=False)
+        decoded = codec.decode(codec.encode(state))
+        for name, values in state.items():
+            span = float(values.max()) - float(values.min())
+            grid = span / codec.levels
+            assert np.max(np.abs(decoded[name] - values)) <= grid / 2 + 1e-12
+
+    def test_payload_bytes_without_deflate(self):
+        state = _state(7)
+        codec = QuantizationCodec(5, deflate=False)
+        expected = 0
+        for values in state.values():
+            array = np.asarray(values)
+            expected += 16  # low/high scales, float64 each
+            if float(array.max()) > float(array.min()):
+                expected += packed_code_bytes(array.size, 5)
+        assert codec.encode(state).num_bytes == expected
+
+    def test_constant_tensor_ships_scales_only(self):
+        state = {"w": np.full((64,), 3.14)}
+        codec = QuantizationCodec(8, deflate=False)
+        payload = codec.encode(state)
+        assert payload.num_bytes == 16
+        np.testing.assert_array_equal(codec.decode(payload)["w"], state["w"])
+
+    def test_encode_is_deterministic(self):
+        state = _state(8)
+        codec = QuantizationCodec(8, deflate=True)
+        assert codec.encode(state).data == codec.encode(state).data
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantizationCodec(0)
+        with pytest.raises(ValueError):
+            QuantizationCodec(17)
+
+
+class TestTopKCodec:
+    def test_exact_count_under_ties(self):
+        state = {"w": np.full(10, 2.0)}
+        codec = TopKCodec(0.5, value_dtype="float64")
+        decoded = codec.decode(codec.encode(state))
+        surviving = np.flatnonzero(decoded["w"])
+        assert list(surviving) == [0, 1, 2, 3, 4]
+
+    def test_survivors_keep_exact_values_at_float64(self):
+        state = _state(9)
+        codec = TopKCodec(0.25, value_dtype="float64")
+        decoded = codec.decode(codec.encode(state))
+        flat = flatten_state(state)
+        flat_decoded = flatten_state(decoded)
+        kept = np.flatnonzero(flat_decoded)
+        np.testing.assert_array_equal(flat_decoded[kept], flat[kept])
+        assert kept.size == codec.keep_count(flat.size)
+
+    def test_payload_layout_bytes(self):
+        state = _state(10)
+        total = flatten_state(state).size
+        for dtype, itemsize in (("float64", 8), ("float32", 4), ("float16", 2)):
+            codec = TopKCodec(0.2, value_dtype=dtype)
+            keep = codec.keep_count(total)
+            assert codec.encode(state).num_bytes == 4 + keep * (4 + itemsize)
+
+    def test_full_fraction_float64_is_lossless(self):
+        state = _state(11)
+        codec = TopKCodec(1.0, value_dtype="float64")
+        assert states_equal(state, codec.decode(codec.encode(state)))
+
+    def test_selection_helper_breaks_ties_by_index(self):
+        flat = np.array([1.0, -1.0, 0.5, 1.0, -1.0])
+        np.testing.assert_array_equal(topk_flat_indices(flat, 3), [0, 1, 3])
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            TopKCodec(0.0)
+        with pytest.raises(ValueError):
+            TopKCodec(1.5)
+
+
+class TestChannel:
+    def test_identity_roundtrip_and_accounting(self):
+        state = _state(12)
+        channel = create_channel("none")
+        wire_tasks = channel.broadcast([state, state], [1, 2])
+        # The same state object is encoded once and its wire task shared...
+        assert wire_tasks[0] is wire_tasks[1]
+        # ...but bytes are billed once per receiving client.
+        size = state_bytes(state)
+        assert channel.tracker.total_downlink_bytes == 2 * size
+        received = channel.receive(1, state=state)
+        assert states_equal(received, state)
+        assert channel.tracker.total_uplink_bytes == size
+
+    def test_receive_argument_validation(self):
+        channel = create_channel("none")
+        channel.broadcast([_state()], [1])
+        with pytest.raises(ValueError, match="exactly one"):
+            channel.receive(1)
+        with pytest.raises(ValueError, match="exactly one"):
+            channel.receive(1, state=_state(), payload=IdentityCodec("float64").encode(_state()))
+
+    def test_delta_upload_needs_a_reference(self):
+        channel = Channel(QuantizationCodec(8), delta_upload=True)
+        with pytest.raises(RuntimeError, match="broadcast reference"):
+            channel.receive(1, state=_state())
+
+    def test_delta_upload_reconstruction(self):
+        state = _state(13)
+        channel = Channel(QuantizationCodec(8, deflate=False), delta_upload=True)
+        channel.broadcast([state], [1])
+        new_state = {k: v + 0.01 for k, v in state.items()}
+        received = channel.receive(1, state=new_state)
+        # reference + quantized(new - reference): within grid error of new.
+        for name in state:
+            assert np.max(np.abs(received[name] - new_state[name])) < 0.01
+
+    def test_error_feedback_accumulates_and_compensates(self):
+        state = _state(14)
+        channel = Channel(
+            TopKCodec(0.1, value_dtype="float64"),
+            downlink_codec=IdentityCodec("float64"),
+            delta_upload=True,
+            error_feedback=True,
+        )
+        channel.broadcast([state], [1])
+        rng = np.random.default_rng(3)
+        new_state = {k: v + 0.1 * rng.normal(size=np.shape(v)) for k, v in state.items()}
+        channel.receive(1, state=new_state)
+        first_residual = channel.residual_norm(1)
+        assert first_residual > 0.0  # the codec dropped something
+
+        # Round 2: upload an unchanged state.  Without error feedback the
+        # delta would be zero and nothing would ever ship; with it, the
+        # residual is added to the delta, so the largest dropped entries
+        # from round 1 get through and the residual shrinks.
+        channel.broadcast([state], [1])
+        channel.receive(1, state=state)
+        assert channel.residual_norm(1) < first_residual
+
+    def test_summary_reports_per_round(self):
+        state = _state(15)
+        channel = create_channel("quantize", compression_bits=8)
+        channel.broadcast([state], [1])
+        channel.receive(1, state=state)
+        channel.broadcast([state], [1])
+        channel.receive(1, state=state)
+        summary = channel.summary()
+        assert summary.rounds == 2
+        assert set(summary.uplink_bytes_per_round) == {0, 1}
+        assert summary.total_uplink_bytes > 0
+        assert summary.delta_upload and not summary.error_feedback
+        assert summary.to_dict()["total_bytes"] == summary.total_bytes
+
+    def test_unknown_compression_rejected(self):
+        with pytest.raises(ValueError, match="unknown compression"):
+            create_channel("gzip")
+
+    def test_wire_objects_are_picklable(self):
+        state = _state(16)
+        channel = create_channel("topk", topk_fraction=0.2)
+        wire_tasks = channel.broadcast([state], [1])
+        clone = pickle.loads(pickle.dumps(wire_tasks[0]))
+        assert states_equal(
+            clone.down_codec.decode(clone.payload),
+            channel.downlink_codec.decode(wire_tasks[0].payload),
+        )
+
+
+def run_fedavg(clients, num_channels, backend=None, channel=None, config=TINY_CONFIG):
+    algorithm = create_algorithm(
+        "fedavg",
+        clients,
+        make_factory(num_channels),
+        config,
+        backend=backend,
+        channel=channel,
+    )
+    try:
+        return algorithm.run()
+    finally:
+        if backend is not None:
+            backend.close()
+
+
+class TestChannelTrainingIntegration:
+    def test_identity_channel_is_bit_identical_to_no_channel(self, make_clients, num_channels):
+        # The float64 identity codec must be invisible: same states, same
+        # losses, bit for bit, as a run without any transport layer.
+        bare = run_fedavg(make_clients(), num_channels)
+        routed = run_fedavg(make_clients(), num_channels, channel=create_channel("none"))
+        assert states_equal(bare.global_state, routed.global_state)
+        assert [r.mean_loss for r in bare.history] == [r.mean_loss for r in routed.history]
+
+    def test_identity_channel_measures_real_bytes(self, make_clients, num_channels):
+        channel = create_channel("none")
+        clients = make_clients()
+        run_fedavg(clients, num_channels, channel=channel)
+        summary = channel.summary()
+        state_size = state_bytes(make_factory(num_channels)().state_dict())
+        rounds, n_clients = TINY_CONFIG.rounds, len(clients)
+        assert summary.total_downlink_bytes == rounds * n_clients * state_size
+        assert summary.total_uplink_bytes == rounds * n_clients * state_size
+
+    @pytest.mark.parametrize(
+        "compression", ["none", "float16", "quantize", "topk"]
+    )
+    def test_serial_and_process_bit_identical_under_every_codec(
+        self, compression, make_clients, num_channels
+    ):
+        serial = run_fedavg(
+            make_clients(),
+            num_channels,
+            backend=SerialBackend(),
+            channel=create_channel(compression, topk_fraction=0.25),
+        )
+        parallel = run_fedavg(
+            make_clients(),
+            num_channels,
+            backend=ProcessPoolBackend(workers=2),
+            channel=create_channel(compression, topk_fraction=0.25),
+        )
+        assert states_equal(serial.global_state, parallel.global_state)
+        assert [r.mean_loss for r in serial.history] == [r.mean_loss for r in parallel.history]
+
+    def test_local_baseline_measures_zero_bytes(self, make_clients, num_channels):
+        # Locally created initial states never cross the wire.
+        channel = create_channel("none")
+        algorithm = create_algorithm(
+            "local", make_clients(), make_factory(num_channels), TINY_CONFIG, channel=channel
+        )
+        algorithm.run()
+        assert channel.summary().total_bytes == 0
+
+    def test_finetune_stage_is_downlink_only(self, make_clients, num_channels):
+        # fedprox_finetune: every training round uploads, but the final
+        # fine-tuning pass only downloads (the personalized model stays on
+        # the client).
+        channel = create_channel("none")
+        algorithm = create_algorithm(
+            "fedprox_finetune",
+            make_clients(),
+            make_factory(num_channels),
+            TINY_CONFIG,
+            channel=channel,
+        )
+        algorithm.run()
+        summary = channel.summary()
+        assert summary.rounds == TINY_CONFIG.rounds + 1
+        uplink_rounds = set(summary.uplink_bytes_per_round)
+        downlink_rounds = set(summary.downlink_bytes_per_round)
+        assert downlink_rounds == set(range(TINY_CONFIG.rounds + 1))
+        assert uplink_rounds == set(range(TINY_CONFIG.rounds))
+
+    def test_fedbn_private_parameters_never_cross_the_codec(
+        self,
+        tiny_train_dataset,
+        tiny_test_dataset,
+        tiny_train_dataset_itc,
+        tiny_test_dataset_itc,
+        num_channels,
+    ):
+        # FedBN under a lossy wire: the shared part is billed and
+        # reconstructed from real payloads, but each client's private
+        # normalization statistics must come back bit-exact — they never
+        # leave the client, so the codec must never touch them.
+        from repro.fl import normalization_parameter_names, state_bytes
+        from repro.models import RouteNet
+
+        factory = SeededModelFactory(
+            lambda seed: RouteNet(num_channels, base_filters=4, seed=seed), base_seed=0
+        )
+        clients = [
+            FederatedClient(1, tiny_train_dataset, tiny_test_dataset, factory, TINY_CONFIG),
+            FederatedClient(2, tiny_train_dataset_itc, tiny_test_dataset_itc, factory, TINY_CONFIG),
+        ]
+        norm_names = normalization_parameter_names(factory())
+
+        channel = create_channel("float16")
+        lossy = create_algorithm(
+            "fedbn", clients, factory, TINY_CONFIG, channel=channel
+        ).run()
+
+        # If the private normalization statistics had passed through the
+        # float16 wire, every value would be exactly float16-representable;
+        # trained running statistics are generic float64s, so at least some
+        # must prove they kept full precision.
+        assert norm_names
+        full_precision_survived = any(
+            not np.array_equal(
+                state[name], state[name].astype(np.float16).astype(np.float64)
+            )
+            for state in lossy.client_states.values()
+            for name in norm_names
+        )
+        assert full_precision_survived
+
+        # The measured uplink covers only the shared fraction of the state.
+        reference_state = factory().state_dict()
+        shared_size = state_bytes(
+            {k: v for k, v in reference_state.items() if k not in norm_names},
+            bytes_per_value=2,  # float16 wire
+        )
+        per_round = channel.summary().uplink_bytes_per_round
+        assert per_round
+        assert all(total == 2 * shared_size for total in per_round.values())
+
+    def test_partial_upload_preserves_private_entries_bit_exact(self):
+        # Channel-level check: entries outside upload_names return bit-exact
+        # even under an aggressively lossy codec.
+        state = _state(20)
+        channel = Channel(QuantizationCodec(2, deflate=False))
+        channel.broadcast([state], [1])
+        new_state = {k: v + 0.5 for k, v in state.items()}
+        shared = ["conv.weight"]
+        received = channel.receive(1, state=new_state, upload_names=shared)
+        assert np.array_equal(received["conv.bias"], new_state["conv.bias"])
+        assert np.array_equal(received["scale"], new_state["scale"])
+        assert not np.array_equal(received["conv.weight"], new_state["conv.weight"])
+        # Only the shared tensor was billed.
+        expected = QuantizationCodec(2, deflate=False).encode(
+            {"conv.weight": new_state["conv.weight"]}
+        ).num_bytes
+        assert channel.tracker.total_uplink_bytes == expected
+
+    def test_checkpoint_refuses_different_transport(self, tmp_path, make_clients, num_channels):
+        # A checkpoint written under a lossy codec must not silently resume
+        # into a run with different (or no) transport settings.
+        from repro.fl import CheckpointManager
+
+        create_algorithm(
+            "fedavg",
+            make_clients(),
+            make_factory(num_channels),
+            TINY_CONFIG,
+            checkpoint=CheckpointManager(tmp_path),
+            channel=create_channel("quantize"),
+        ).run()
+        resumed = create_algorithm(
+            "fedavg",
+            make_clients(),
+            make_factory(num_channels),
+            TINY_CONFIG,
+            checkpoint=CheckpointManager(tmp_path),
+        )
+        with pytest.raises(ValueError, match="written by a different run"):
+            resumed.run()
+
+    def test_topk_with_error_feedback_converges(self, make_clients, num_channels):
+        # A seeded FedAvg run with sparsified delta uploads + error feedback
+        # must still train: the final round's mean loss improves on the
+        # first round's.
+        from dataclasses import replace
+
+        config = replace(TINY_CONFIG, rounds=4)
+        channel = create_channel("topk", topk_fraction=0.25)
+        training = run_fedavg(
+            make_clients(config), num_channels, channel=channel, config=config
+        )
+        losses = [record.mean_loss for record in training.history]
+        assert np.all(np.isfinite(losses))
+        assert losses[-1] < losses[0]
+        # The codec genuinely dropped something along the way.
+        assert any(channel.residual_norm(cid) > 0 for cid in (1, 2))

@@ -30,6 +30,19 @@ class TestParser:
         assert args.preset == "smoke"
         assert args.algorithms == ["local", "fedprox"]
 
+    def test_reproduce_compression_arguments_parsed(self):
+        args = build_parser().parse_args(
+            ["reproduce", "--compression", "quantize", "--compression-bits", "4", "--topk-fraction", "0.05"]
+        )
+        assert args.compression == "quantize"
+        assert args.compression_bits == 4
+        assert args.topk_fraction == 0.05
+        assert build_parser().parse_args(["reproduce"]).compression is None
+
+    def test_reproduce_rejects_unknown_compression(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "--compression", "gzip"])
+
 
 class TestListCommands:
     def test_list_models_prints_every_model(self, capsys):
