@@ -21,7 +21,11 @@ entry points without writing any Python:
     enables per-round checkpoint/resume; ``--compression`` routes every
     broadcast/upload through a wire codec (identity casts, packed
     quantization, top-k sparsification) and reports *measured* payload
-    bytes per round.
+    bytes per round; ``--participation`` / ``--straggler-model`` /
+    ``--round-policy {sync,deadline,fedbuff}`` simulate a real client
+    population (partial cohorts, availability, stragglers on a virtual
+    clock, deadline drops, buffered-asynchronous aggregation) and report
+    participation and simulated wall-clock time.
 ``repro communication``
     Print the analytic communication cost of every algorithm for a model.
 
@@ -40,7 +44,15 @@ from repro.eda.benchmarks import generate_design, suite_names
 from repro.eda.global_router import GlobalRouterConfig, route_placement
 from repro.eda.placement import PlacementConfig, Placer
 from repro.eda.quality import placement_quality, routing_quality
-from repro.fl import ALGORITHMS, COMPRESSION_CHOICES, estimate_communication
+from repro.fl import (
+    ALGORITHMS,
+    AVAILABILITY_CHOICES,
+    COMPRESSION_CHOICES,
+    ROUND_POLICY_CHOICES,
+    SAMPLER_CHOICES,
+    STRAGGLER_CHOICES,
+    estimate_communication,
+)
 from repro.models.registry import available_models, create_model
 
 
@@ -189,6 +201,75 @@ def _add_reproduce(subparsers) -> None:
         default=0.1,
         help="fraction of entries kept by --compression topk (default 0.1)",
     )
+    parser.add_argument(
+        "--participation",
+        type=float,
+        default=None,
+        help="fraction of clients sampled per round (partial participation; "
+        "cohorts are seeded from the run seed and bit-reproducible)",
+    )
+    parser.add_argument(
+        "--clients-per-round",
+        type=int,
+        default=None,
+        help="absolute cohort size per round (alternative to --participation)",
+    )
+    parser.add_argument(
+        "--sampler",
+        choices=SAMPLER_CHOICES,
+        default=None,
+        help="cohort sampling rule: full, uniform, or weighted "
+        "(importance sampling by client sample count)",
+    )
+    parser.add_argument(
+        "--availability",
+        choices=AVAILABILITY_CHOICES,
+        default=None,
+        help="per-client availability model: always (default), bernoulli "
+        "(each query succeeds with --availability-rate), daynight "
+        "(phased duty cycles on the virtual clock)",
+    )
+    parser.add_argument(
+        "--availability-rate",
+        type=float,
+        default=0.9,
+        help="bernoulli success probability / daynight duty fraction (default 0.9)",
+    )
+    parser.add_argument(
+        "--straggler-model",
+        choices=STRAGGLER_CHOICES,
+        default=None,
+        help="simulated round-trip latency per dispatched client: none, "
+        "uniform, lognormal, heavytail (Pareto); drives the virtual clock "
+        "and the deadline/fedbuff policies",
+    )
+    parser.add_argument(
+        "--round-policy",
+        choices=ROUND_POLICY_CHOICES,
+        default="sync",
+        help="what the server does with straggler updates: sync (barrier), "
+        "deadline (drop updates later than --deadline, over-selecting by "
+        "--over-selection), fedbuff (buffered-asynchronous aggregation)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="round cutoff in virtual seconds for --round-policy deadline",
+    )
+    parser.add_argument(
+        "--over-selection",
+        type=float,
+        default=1.0,
+        help="cohort inflation factor under the deadline policy (default 1.0; "
+        "1.3 selects 30%% extra clients expecting drops)",
+    )
+    parser.add_argument(
+        "--buffer-size",
+        type=int,
+        default=2,
+        help="updates buffered per aggregation for --round-policy fedbuff (default 2)",
+    )
     parser.set_defaults(handler=_cmd_reproduce)
 
 
@@ -199,6 +280,7 @@ def _cmd_reproduce(args) -> int:
         comparison_table,
         format_rows,
         preset,
+        scheduling_text,
     )
 
     config = preset(args.preset, model=args.model)
@@ -217,6 +299,17 @@ def _cmd_reproduce(args) -> int:
             compression=args.compression,
             compression_bits=args.compression_bits,
             topk_fraction=args.topk_fraction,
+        ).with_scheduling(
+            participation=args.participation,
+            clients_per_round=args.clients_per_round,
+            sampler=args.sampler,
+            availability=args.availability,
+            availability_rate=args.availability_rate,
+            straggler_model=args.straggler_model,
+            round_policy=args.round_policy,
+            deadline=args.deadline,
+            over_selection=args.over_selection,
+            buffer_size=args.buffer_size,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -236,6 +329,9 @@ def _cmd_reproduce(args) -> int:
     if args.compression is not None:
         text += f"\n\nMeasured communication (--compression {args.compression}):\n"
         text += communication_text(result)
+    if config.scheduling_requested:
+        text += f"\n\nClient scheduling (--round-policy {args.round_policy}):\n"
+        text += scheduling_text(result)
     print(text)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -26,6 +26,13 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.data.clients import ClientSpec, CorpusConfig, TABLE2_CLIENTS
 from repro.fl.config import FLConfig
 from repro.fl.execution import BACKENDS as EXECUTION_BACKENDS
+from repro.fl.scheduling import (
+    AVAILABILITY_CHOICES,
+    ROUND_POLICY_CHOICES,
+    SAMPLER_CHOICES,
+    STRAGGLER_CHOICES,
+    scheduling_requested,
+)
 from repro.fl.transport import COMPRESSION_CHOICES
 from repro.models.registry import available_models
 
@@ -68,6 +75,21 @@ class ExperimentConfig:
     uploads), or ``"topk"`` (top-``topk_fraction`` sparsified delta uploads
     with error feedback).  Serial and process execution stay bit-identical
     under every setting.
+
+    Scheduling options
+    ------------------
+    ``participation`` / ``clients_per_round`` select a per-round cohort
+    (``sampler`` picks the rule: uniform or sample-count-weighted);
+    ``availability`` models which clients are reachable (``always``,
+    ``bernoulli``, day/night cycles at ``availability_rate`` duty);
+    ``straggler_model`` assigns simulated round-trip latencies; and
+    ``round_policy`` decides what the server does with them: ``sync``
+    (barrier), ``deadline`` (drop updates later than ``deadline`` virtual
+    seconds, over-selecting the cohort by ``over_selection``), or
+    ``fedbuff`` (buffered-asynchronous aggregation with ``buffer_size``
+    staleness-weighted updates per model version).  All defaults off: the
+    default configuration runs the full cohort synchronously and is
+    bit-identical to pre-scheduling behavior.
     """
 
     name: str
@@ -84,6 +106,16 @@ class ExperimentConfig:
     compression: Optional[str] = None
     compression_bits: int = 8
     topk_fraction: float = 0.1
+    participation: Optional[float] = None
+    clients_per_round: Optional[int] = None
+    sampler: Optional[str] = None
+    availability: Optional[str] = None
+    availability_rate: float = 0.9
+    straggler_model: Optional[str] = None
+    round_policy: str = "sync"
+    deadline: Optional[float] = None
+    over_selection: float = 1.0
+    buffer_size: int = 2
 
     def __post_init__(self):
         if self.model.lower() not in available_models():
@@ -117,6 +149,86 @@ class ExperimentConfig:
             raise ValueError(
                 f"topk_fraction must be in (0, 1], got {self.topk_fraction}"
             )
+        if self.participation is not None and not 0.0 < self.participation <= 1.0:
+            raise ValueError(
+                f"participation must be in (0, 1], got {self.participation}"
+            )
+        if self.clients_per_round is not None and self.clients_per_round < 1:
+            raise ValueError(
+                f"clients_per_round must be positive, got {self.clients_per_round}"
+            )
+        if self.sampler is not None and self.sampler not in SAMPLER_CHOICES:
+            raise ValueError(
+                f"unknown client sampler {self.sampler!r}; available: {SAMPLER_CHOICES}"
+            )
+        if self.availability is not None and self.availability not in AVAILABILITY_CHOICES:
+            raise ValueError(
+                f"unknown availability model {self.availability!r}; "
+                f"available: {AVAILABILITY_CHOICES}"
+            )
+        if not 0.0 < self.availability_rate <= 1.0:
+            raise ValueError(
+                f"availability_rate must be in (0, 1], got {self.availability_rate}"
+            )
+        if self.straggler_model is not None and self.straggler_model not in STRAGGLER_CHOICES:
+            raise ValueError(
+                f"unknown straggler model {self.straggler_model!r}; "
+                f"available: {STRAGGLER_CHOICES}"
+            )
+        if self.round_policy not in ROUND_POLICY_CHOICES:
+            raise ValueError(
+                f"unknown round policy {self.round_policy!r}; "
+                f"available: {ROUND_POLICY_CHOICES}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.round_policy == "deadline" and self.deadline is None:
+            raise ValueError(
+                "the deadline round policy needs a positive deadline (virtual seconds)"
+            )
+        if self.round_policy == "fedbuff":
+            # Fail at configuration time, not after earlier algorithms of the
+            # experiment have already trained for minutes.
+            from repro.fl import ALGORITHMS
+
+            blocked = [
+                name
+                for name in self.algorithms
+                if name in ALGORITHMS
+                and ALGORITHMS[name].supports_scheduling
+                and not ALGORITHMS[name].supports_fedbuff
+            ]
+            if blocked:
+                raise ValueError(
+                    f"round policy 'fedbuff' is not supported by {blocked}; "
+                    "choose sync or deadline, or drop those algorithms "
+                    "(fedbuff needs delta-style aggregation: fedavg / fedprox / "
+                    "fedprox_finetune)"
+                )
+        if self.over_selection < 1.0:
+            raise ValueError(
+                f"over_selection must be >= 1, got {self.over_selection}"
+            )
+        if self.buffer_size < 1:
+            raise ValueError(f"buffer_size must be positive, got {self.buffer_size}")
+
+    @property
+    def scheduling_requested(self) -> bool:
+        """Whether any scheduling option departs from the defaults.
+
+        Delegates to :func:`repro.fl.scheduling.scheduling_requested` — the
+        same predicate :func:`~repro.fl.scheduling.create_scheduler` uses —
+        so "a scheduler will exist" and "scheduling is reported" agree by
+        construction.
+        """
+        return scheduling_requested(
+            participation=self.participation,
+            clients_per_round=self.clients_per_round,
+            sampler=self.sampler,
+            availability=self.availability,
+            straggler=self.straggler_model,
+            round_policy=self.round_policy,
+        )
 
     def with_execution(
         self,
@@ -155,6 +267,45 @@ class ExperimentConfig:
                 self.compression_bits if compression_bits is _KEEP else compression_bits
             ),
             topk_fraction=self.topk_fraction if topk_fraction is _KEEP else topk_fraction,
+        )
+
+    def with_scheduling(
+        self,
+        participation: object = _KEEP,
+        clients_per_round: object = _KEEP,
+        sampler: object = _KEEP,
+        availability: object = _KEEP,
+        availability_rate: object = _KEEP,
+        straggler_model: object = _KEEP,
+        round_policy: object = _KEEP,
+        deadline: object = _KEEP,
+        over_selection: object = _KEEP,
+        buffer_size: object = _KEEP,
+    ) -> "ExperimentConfig":
+        """A copy of this configuration with different scheduling options.
+
+        Omitted options keep their current value; pass ``None`` explicitly
+        to reset one (e.g. ``with_scheduling(participation=None)`` restores
+        full participation).
+        """
+        return replace(
+            self,
+            participation=self.participation if participation is _KEEP else participation,
+            clients_per_round=(
+                self.clients_per_round if clients_per_round is _KEEP else clients_per_round
+            ),
+            sampler=self.sampler if sampler is _KEEP else sampler,
+            availability=self.availability if availability is _KEEP else availability,
+            availability_rate=(
+                self.availability_rate if availability_rate is _KEEP else availability_rate
+            ),
+            straggler_model=(
+                self.straggler_model if straggler_model is _KEEP else straggler_model
+            ),
+            round_policy=self.round_policy if round_policy is _KEEP else round_policy,
+            deadline=self.deadline if deadline is _KEEP else deadline,
+            over_selection=self.over_selection if over_selection is _KEEP else over_selection,
+            buffer_size=self.buffer_size if buffer_size is _KEEP else buffer_size,
         )
 
     def with_model(self, model: str, **model_kwargs) -> "ExperimentConfig":

@@ -33,6 +33,9 @@ RESULT_DESCRIPTIONS: Dict[str, str] = {
     "ablation_heterogeneity": "Ablation (Sec. 4.1) — IID vs non-IID clients",
     "ablation_privacy": "Extension — differential-privacy noise vs accuracy",
     "communication_costs": "Extension — communication cost per algorithm",
+    "execution_backends": "Engineering — serial vs. process-pool execution",
+    "transport_compression": "Engineering — measured wire traffic per codec",
+    "scheduling_policies": "Engineering — round policies under heavy-tail stragglers",
     "global_router": "Substrate validation — global router",
 }
 
@@ -123,6 +126,75 @@ def communication_text(result: ExperimentResult) -> str:
             f"({comm.total_downlink_bytes // down_rounds:,d} B/round) "
             f"over {comm.rounds} round(s)"
         )
+    return "\n".join(lines)
+
+
+def _format_seconds(seconds: float) -> str:
+    """Human-friendly simulated duration."""
+    if seconds >= 3600.0:
+        return f"{seconds / 3600.0:,.2f} h"
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:,.1f} min"
+    return f"{seconds:,.1f} s"
+
+
+def scheduling_markdown(result: ExperimentResult) -> str:
+    """A markdown table of the client-scheduling outcome per algorithm.
+
+    One row per algorithm that ran under a round scheduler: the policy and
+    models, how many client tasks were selected / arrived / dropped, the
+    simulated wall-clock time, and (for fedbuff) buffered-aggregation and
+    staleness statistics.  Returns an explanatory placeholder when the
+    experiment ran without scheduling options.
+    """
+    scheduled = [o for o in result.outcomes if o.scheduling is not None]
+    if not scheduled:
+        return "_No round scheduler was active — run with scheduling options to simulate client populations._"
+    lines = [
+        "| Method | Policy | Sampler | Straggler | Rounds | Selected | Arrived | Dropped | Simulated time | Aggregations | Mean staleness |",
+        "|---|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for outcome in scheduled:
+        sched = outcome.scheduling
+        aggregations = str(sched.buffered_aggregations) if sched.policy == "fedbuff" else "—"
+        staleness = f"{sched.mean_staleness:.2f}" if sched.policy == "fedbuff" else "—"
+        lines.append(
+            f"| {outcome.algorithm} | {sched.policy} | {sched.sampler} | {sched.straggler} "
+            f"| {sched.rounds} | {sched.total_selected} | {sched.total_arrived} "
+            f"| {sched.total_dropped} | {_format_seconds(sched.simulated_seconds)} "
+            f"| {aggregations} | {staleness} |"
+        )
+    return "\n".join(lines)
+
+
+def scheduling_text(result: ExperimentResult) -> str:
+    """Plain-text rendering of the client-scheduling outcome (CLI output).
+
+    Lines are formatted so a run's effects are easy to assert on
+    (``dropped stragglers <N>``, ``buffered aggregations <N>``).
+    """
+    scheduled = [o for o in result.outcomes if o.scheduling is not None]
+    if not scheduled:
+        return "No round scheduler was active; every client ran every round."
+    lines: List[str] = []
+    for outcome in scheduled:
+        sched = outcome.scheduling
+        lines.append(
+            f"{outcome.algorithm:<22} policy {sched.policy}, sampler {sched.sampler}, "
+            f"availability {sched.availability}, straggler {sched.straggler}"
+        )
+        lines.append(
+            f"{'':<22} selected {sched.total_selected}, arrived {sched.total_arrived}, "
+            f"dropped stragglers {sched.total_dropped}, simulated time "
+            f"{sched.simulated_seconds:,.1f} s over {sched.rounds} round(s)"
+        )
+        if sched.policy == "fedbuff":
+            lines.append(
+                f"{'':<22} buffered aggregations {sched.buffered_aggregations}, "
+                f"buffered updates {sched.updates_buffered}, "
+                f"mean staleness {sched.mean_staleness:.2f}, "
+                f"max staleness {sched.max_staleness}"
+            )
     return "\n".join(lines)
 
 

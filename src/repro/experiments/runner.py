@@ -15,11 +15,14 @@ from repro.fl import (
     EvaluationRow,
     ExecutionBackend,
     FederatedClient,
+    RoundScheduler,
+    SchedulingSummary,
     SeededModelFactory,
     TrainingResult,
     create_algorithm,
     create_backend,
     create_channel,
+    create_scheduler,
     evaluate_result,
 )
 from repro.experiments.config import ExperimentConfig
@@ -55,6 +58,9 @@ class AlgorithmOutcome:
     runtime_seconds: float
     #: Measured transport bytes (None when no compression channel was used).
     communication: Optional[ChannelSummary] = None
+    #: Participation / simulated-time / staleness totals (None when the run
+    #: used no round scheduler, or the algorithm ignores scheduling).
+    scheduling: Optional[SchedulingSummary] = None
 
 
 @dataclass
@@ -87,6 +93,9 @@ class ExperimentResult:
             if outcome.communication is not None:
                 entry["uplink_bytes"] = outcome.communication.total_uplink_bytes
                 entry["downlink_bytes"] = outcome.communication.total_downlink_bytes
+            if outcome.scheduling is not None:
+                entry["dropped"] = outcome.scheduling.total_dropped
+                entry["simulated_s"] = round(outcome.scheduling.simulated_seconds, 1)
             table.append(entry)
         return table
 
@@ -150,6 +159,29 @@ class ExperimentRunner:
             topk_fraction=self.config.topk_fraction,
         )
 
+    def round_scheduler(self) -> Optional[RoundScheduler]:
+        """A fresh round scheduler for one algorithm run (or ``None``).
+
+        Schedulers are stateful (sampler / availability / latency RNGs, the
+        virtual clock, and participation counters), so every algorithm run
+        gets its own — seeded from the run seed, which makes cohorts
+        identical across algorithms, execution backends, and checkpoint
+        resume.
+        """
+        return create_scheduler(
+            participation=self.config.participation,
+            clients_per_round=self.config.clients_per_round,
+            sampler=self.config.sampler,
+            availability=self.config.availability,
+            availability_rate=self.config.availability_rate,
+            straggler=self.config.straggler_model,
+            round_policy=self.config.round_policy,
+            deadline=self.config.deadline,
+            over_selection=self.config.over_selection,
+            buffer_size=self.config.buffer_size,
+            seed=self.config.seed,
+        )
+
     def _checkpoint_manager(self, algorithm: str) -> Optional[CheckpointManager]:
         """Per-algorithm checkpoint manager under the configured directory."""
         if self.config.checkpoint_dir is None:
@@ -172,6 +204,7 @@ class ExperimentRunner:
         owns_backend = backend is None
         backend = backend if backend is not None else self.execution_backend()
         channel = self.transport_channel()
+        scheduler = self.round_scheduler()
         try:
             algorithm = create_algorithm(
                 name,
@@ -181,6 +214,7 @@ class ExperimentRunner:
                 backend=backend,
                 checkpoint=self._checkpoint_manager(name),
                 channel=channel,
+                scheduler=scheduler,
             )
             start = time.perf_counter()
             training = algorithm.run()
@@ -189,12 +223,16 @@ class ExperimentRunner:
             if owns_backend:
                 backend.close()
         evaluation = evaluate_result(training, clients)
+        # create_algorithm drops the scheduler for algorithms that ignore
+        # scheduling; report only what actually drove the run.
+        effective_scheduler = getattr(algorithm, "scheduler", None)
         return AlgorithmOutcome(
             algorithm=name,
             evaluation=evaluation,
             training=training,
             runtime_seconds=runtime,
             communication=channel.summary() if channel is not None else None,
+            scheduling=effective_scheduler.summary() if effective_scheduler is not None else None,
         )
 
     def run(self, algorithms: Optional[Sequence[str]] = None) -> ExperimentResult:

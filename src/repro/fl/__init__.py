@@ -26,6 +26,12 @@ execution
     (serial, or fanned out over worker processes) and checkpoints rounds so
     long runs survive interruption.  Backends are bit-identical to each
     other by contract.
+scheduling
+    :mod:`repro.fl.scheduling` decides *which* clients run each round and
+    when their updates land: cohort samplers, availability traces,
+    straggler latencies on a deterministic virtual clock, and the round
+    policies (synchronous barriers, deadline cutoffs, FedBuff-style
+    buffered-asynchronous aggregation).
 
 Algorithm registry
 ------------------
@@ -89,6 +95,25 @@ from repro.fl.transport import (
     QuantizationCodec,
     TopKCodec,
     create_channel,
+)
+from repro.fl.scheduling import (
+    AVAILABILITY_CHOICES,
+    ROUND_POLICY_CHOICES,
+    SAMPLER_CHOICES,
+    STRAGGLER_CHOICES,
+    AvailabilityModel,
+    ClientSampler,
+    FullParticipation,
+    LatencyModel,
+    RoundScheduler,
+    SchedulingSummary,
+    UniformSampler,
+    VirtualClock,
+    WeightedSampler,
+    create_availability,
+    create_latency,
+    create_sampler,
+    create_scheduler,
 )
 from repro.fl.config import PAPER_ASSIGNED_CLUSTERS, FLConfig, paper_fl_config, scaled_fl_config
 from repro.fl.execution import (
@@ -169,6 +194,7 @@ def create_algorithm(
     backend: Optional[ExecutionBackend] = None,
     checkpoint: Optional[CheckpointManager] = None,
     channel: Optional[Channel] = None,
+    scheduler: Optional[RoundScheduler] = None,
 ) -> FederatedAlgorithm:
     """Instantiate a training algorithm from the registry by name.
 
@@ -189,6 +215,12 @@ def create_algorithm(
         Optional transport :class:`Channel` every broadcast and upload of
         the run passes through (wire codec + measured byte accounting).  A
         channel is stateful; use a fresh one per algorithm run.
+    scheduler:
+        Optional :class:`~repro.fl.scheduling.RoundScheduler` driving
+        partial participation, availability, stragglers, and the round
+        policy (sync / deadline / fedbuff).  A scheduler is stateful; use a
+        fresh one per algorithm run.  Ignored (with a warning) by the
+        algorithms that still run their full cohort every round.
     """
     key = name.lower()
     if key not in ALGORITHMS:
@@ -201,8 +233,21 @@ def create_algorithm(
             stacklevel=2,
         )
         checkpoint = None
+    if scheduler is not None and not cls.supports_scheduling:
+        warnings.warn(
+            f"algorithm {key!r} does not support client scheduling; the scheduling "
+            "options are ignored (every client participates in every round)",
+            stacklevel=2,
+        )
+        scheduler = None
     return cls(
-        clients, model_factory, config, backend=backend, checkpoint=checkpoint, channel=channel
+        clients,
+        model_factory,
+        config,
+        backend=backend,
+        checkpoint=checkpoint,
+        channel=channel,
+        scheduler=scheduler,
     )
 
 
@@ -265,6 +310,23 @@ __all__ = [
     "topk_sparsify",
     "quantize_state",
     "compression_error",
+    "SAMPLER_CHOICES",
+    "AVAILABILITY_CHOICES",
+    "STRAGGLER_CHOICES",
+    "ROUND_POLICY_CHOICES",
+    "ClientSampler",
+    "FullParticipation",
+    "UniformSampler",
+    "WeightedSampler",
+    "AvailabilityModel",
+    "LatencyModel",
+    "VirtualClock",
+    "RoundScheduler",
+    "SchedulingSummary",
+    "create_sampler",
+    "create_availability",
+    "create_latency",
+    "create_scheduler",
     "CODECS",
     "COMPRESSION_CHOICES",
     "Codec",

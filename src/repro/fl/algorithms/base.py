@@ -19,6 +19,7 @@ from repro.fl.execution import (
     SerialBackend,
 )
 from repro.fl.parameters import State, clone_state
+from repro.fl.scheduling import RoundScheduler
 from repro.fl.server import FederatedServer
 from repro.fl.transport import Channel
 from repro.models.base import RoutabilityModel
@@ -108,6 +109,18 @@ class FederatedAlgorithm:
     #: currently ignore checkpointing.
     supports_checkpointing: bool = False
 
+    #: Whether :meth:`run` honors a :class:`~repro.fl.scheduling.RoundScheduler`
+    #: (partial participation, stragglers, deadline cutoffs).  True for the
+    #: global-state algorithms whose round loop goes through
+    #: :meth:`_run_scheduled_rounds`; the personalized algorithms still run
+    #: the full cohort every round.
+    supports_scheduling: bool = False
+
+    #: Whether :meth:`run` implements the FedBuff buffered-asynchronous
+    #: round policy.  Requires delta-style aggregation; only the FedProx
+    #: family supports it.
+    supports_fedbuff: bool = False
+
     def __init__(
         self,
         clients: Sequence[FederatedClient],
@@ -117,6 +130,7 @@ class FederatedAlgorithm:
         backend: Optional[ExecutionBackend] = None,
         checkpoint: Optional[CheckpointManager] = None,
         channel: Optional[Channel] = None,
+        scheduler: Optional[RoundScheduler] = None,
     ):
         if not clients:
             raise ValueError("at least one client is required")
@@ -128,6 +142,14 @@ class FederatedAlgorithm:
         self.backend.bind(self.clients)
         self.checkpoint = checkpoint
         self.channel = channel
+        self.scheduler = scheduler
+        if scheduler is not None:
+            scheduler.bind(self.clients)
+            if scheduler.policy == "fedbuff" and not self.supports_fedbuff:
+                raise ValueError(
+                    f"algorithm {self.name!r} does not support the fedbuff round "
+                    "policy; choose sync or deadline (or run fedavg/fedprox)"
+                )
         if channel is not None and checkpoint is not None:
             if channel.error_feedback:
                 logger.warning(
@@ -159,12 +181,17 @@ class FederatedAlgorithm:
         op: str = "train",
         transport: str = TRANSPORT_BOTH,
         upload_names: Optional[Sequence[str]] = None,
+        cohort: Optional[Sequence[int]] = None,
     ) -> List[ClientUpdate]:
-        """Run one client-side pass over every client via the backend.
+        """Run one client-side pass over the participating clients.
 
-        ``states`` is either a single global :data:`State` broadcast to every
-        client or a sequence aligned with ``self.clients`` (one personalized
-        starting state per client).  Results come back in client order.
+        ``cohort`` is the round's participating roster indices (from a
+        :class:`~repro.fl.scheduling.RoundScheduler` plan); ``None`` means
+        every client participates — the pre-scheduling behavior, bit for
+        bit.  ``states`` is either a single global :data:`State` broadcast
+        to every participant or a sequence aligned with the participants
+        (one personalized starting state each).  Results come back in
+        participant order.
 
         ``transport`` says which directions of this pass are real
         communication when a channel is attached: ``"both"`` (a normal
@@ -180,14 +207,22 @@ class FederatedAlgorithm:
             raise ValueError(
                 f"unknown transport mode {transport!r}; expected one of {_TRANSPORT_MODES}"
             )
+        if cohort is None:
+            indices = list(range(len(self.clients)))
+        else:
+            indices = [int(index) for index in cohort]
+            if any(index < 0 or index >= len(self.clients) for index in indices):
+                raise ValueError(
+                    f"cohort indices {indices} out of range for {len(self.clients)} clients"
+                )
         if isinstance(states, dict):
-            per_client: Sequence[State] = [states] * len(self.clients)
+            per_client: Sequence[State] = [states] * len(indices)
         else:
             per_client = list(states)
-            if len(per_client) != len(self.clients):
+            if len(per_client) != len(indices):
                 raise ValueError(
-                    f"got {len(per_client)} states for {len(self.clients)} clients; "
-                    "pass one state per client or a single broadcast state"
+                    f"got {len(per_client)} states for {len(indices)} participating "
+                    "clients; pass one state per participant or a single broadcast state"
                 )
 
         if self.channel is None or transport == TRANSPORT_NONE:
@@ -199,13 +234,13 @@ class FederatedAlgorithm:
                     steps=steps,
                     proximal_mu=proximal_mu,
                 )
-                for index, state in enumerate(per_client)
+                for index, state in zip(indices, per_client)
             ]
             return self.backend.map(tasks)
 
         wire_tasks = self.channel.broadcast(
             per_client,
-            [client.client_id for client in self.clients],
+            [self.clients[index].client_id for index in indices],
             expect_upload=transport == TRANSPORT_BOTH,
             partial_upload=upload_names is not None,
         )
@@ -217,7 +252,7 @@ class FederatedAlgorithm:
                 steps=steps,
                 proximal_mu=proximal_mu,
             )
-            for index, wire in enumerate(wire_tasks)
+            for index, wire in zip(indices, wire_tasks)
         ]
         updates = self.backend.map(tasks)
         if transport == TRANSPORT_BOTH:
@@ -250,6 +285,12 @@ class FederatedAlgorithm:
         stay resumable.
         """
         fingerprint: Dict[str, object] = {}
+        if self.scheduler is not None:
+            # Resuming a partial-participation run under a different sampler,
+            # straggler model, or round policy would silently diverge from
+            # the uninterrupted trajectory; channel-less / scheduler-less
+            # runs omit the key so older checkpoints stay resumable.
+            fingerprint["scheduling"] = self.scheduler.describe()
         if self.channel is not None:
             fingerprint["transport"] = {
                 "uplink": self.channel.uplink_codec.describe(),
@@ -305,6 +346,12 @@ class FederatedAlgorithm:
                     "clear the directory or point the checkpoint option elsewhere"
                 )
         self.checkpoint.restore_clients(self.clients, resumed)
+        if self.scheduler is not None and "scheduler_state" in resumed.extra_meta:
+            # Restore sampler/availability/latency RNGs, the virtual clock,
+            # and the participation counters, so the resumed run draws the
+            # same cohorts and reports the same totals as an uninterrupted
+            # one.
+            self.scheduler.set_state(resumed.extra_meta["scheduler_state"])
         logger.info(
             "%s: resuming from checkpoint round %d in %s",
             self.name,
@@ -332,6 +379,8 @@ class FederatedAlgorithm:
         if self.checkpoint is not None:
             meta = dict(extra_meta or {})
             meta["fingerprint"] = self.checkpoint_fingerprint()
+            if self.scheduler is not None:
+                meta["scheduler_state"] = self.scheduler.state()
             self.checkpoint.save(
                 round_index,
                 global_state,
@@ -353,6 +402,95 @@ class FederatedAlgorithm:
             per_client_loss=dict(per_client_loss),
             extra=dict(extra or {}),
         )
+
+    # -- scheduled round loop (global-state algorithms) ---------------------------
+    def _local_proximal_mu(self) -> float:
+        """Proximal strength used for the per-round client pass."""
+        return self.config.proximal_mu
+
+    def _global_round(
+        self, round_index: int, global_state: State, kept: Sequence[ClientUpdate]
+    ) -> "tuple[State, Dict[str, object]]":
+        """Aggregate one round's kept updates into the global state.
+
+        The per-algorithm server step of the round loop: implementations
+        aggregate ``kept`` (which may be empty when every selected client
+        missed the deadline — the global state is then returned unchanged),
+        persist the round via :meth:`save_checkpoint`, and return the new
+        global state plus extras for the round record.
+        """
+        raise NotImplementedError(
+            f"{self.__class__.__name__} does not implement the scheduled round loop"
+        )
+
+    def _run_global_rounds(
+        self, result: TrainingResult, global_state: State, start_round: int
+    ) -> State:
+        """The per-round loop of every global-state algorithm.
+
+        Dispatches to the scheduler-driven loop when a round scheduler is
+        attached, and to the historical full-cohort loop (bit-identical to
+        pre-scheduling behavior) otherwise.  Both express the server step
+        through the :meth:`_global_round` hook.
+        """
+        if self.scheduler is None:
+            return self._run_unscheduled_rounds(result, global_state, start_round)
+        return self._run_scheduled_rounds(result, global_state, start_round)
+
+    def _run_unscheduled_rounds(
+        self, result: TrainingResult, global_state: State, start_round: int
+    ) -> State:
+        """Full-cohort synchronous rounds (the pre-scheduling behavior)."""
+        mu = self._local_proximal_mu()
+        for round_index in range(start_round, self.config.rounds):
+            updates = self.map_client_updates(
+                global_state, steps=self.config.local_steps, proximal_mu=mu
+            )
+            global_state, extra = self._global_round(round_index, global_state, updates)
+            per_client_loss = {
+                update.client_id: update.stats.mean_loss for update in updates
+            }
+            result.history.append(
+                self._round_record(round_index, per_client_loss, extra=extra)
+            )
+        return global_state
+
+    def _run_scheduled_rounds(
+        self, result: TrainingResult, global_state: State, start_round: int
+    ) -> State:
+        """Barrier-style (sync / deadline) rounds driven by the scheduler.
+
+        Each round: ask the scheduler for a cohort (sampling over the
+        clients available at the current virtual time), run the cohort's
+        client passes through the execution backend, let the round policy
+        keep or drop each update (drawing straggler latencies and advancing
+        the virtual clock), and aggregate whatever survived via
+        :meth:`_global_round`.
+        """
+        scheduler = self.scheduler
+        for round_index in range(start_round, self.config.rounds):
+            plan = scheduler.begin_round(round_index)
+            updates = (
+                self.map_client_updates(
+                    global_state,
+                    steps=self.config.local_steps,
+                    proximal_mu=self._local_proximal_mu(),
+                    cohort=plan.cohort,
+                )
+                if plan.cohort
+                else []
+            )
+            outcome = scheduler.complete_round(plan, updates)
+            global_state, extra = self._global_round(round_index, global_state, outcome.kept)
+            per_client_loss = {
+                update.client_id: update.stats.mean_loss for update in outcome.kept
+            }
+            result.history.append(
+                self._round_record(
+                    round_index, per_client_loss, extra={**extra, **outcome.record_extra}
+                )
+            )
+        return global_state
 
     # -- interface ------------------------------------------------------------------
     def run(self) -> TrainingResult:
@@ -379,6 +517,17 @@ class SeededModelFactory:
         model = self._builder(self._base_seed + self._calls)
         self._calls += 1
         return model
+
+    def build_with_seed(self, seed: int) -> RoutabilityModel:
+        """Build one model from an explicit seed *without* advancing the
+        factory's call counter.
+
+        Used by :meth:`repro.fl.FederatedClient.initial_state`: per-client
+        initializations are seeded from the client's own RNG, so they stay
+        reproducible regardless of how many models other clients (or the
+        coordinating process) have built from the shared factory.
+        """
+        return self._builder(int(seed))
 
     def reset(self) -> None:
         """Restart the seed sequence (a fresh factory for a fresh experiment)."""

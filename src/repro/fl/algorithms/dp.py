@@ -11,13 +11,14 @@ the DP ablation benchmark).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.fl.algorithms.base import FederatedAlgorithm, ModelFactory, TrainingResult
 from repro.fl.client import FederatedClient
 from repro.fl.config import FLConfig
+from repro.fl.execution import ClientUpdate
 from repro.fl.parameters import State, average_pairwise_distance
 from repro.fl.privacy import GaussianAccountant, PrivacyConfig, PrivateUpdateLog, privatize_update
 from repro.fl.server import FederatedServer
@@ -29,6 +30,7 @@ class DPFedProx(FederatedAlgorithm):
 
     name = "dp_fedprox"
     supports_checkpointing = True
+    supports_scheduling = True
 
     def __init__(
         self,
@@ -50,12 +52,46 @@ class DPFedProx(FederatedAlgorithm):
         fingerprint["noise_multiplier"] = self.privacy.noise_multiplier
         return fingerprint
 
+    def _global_round(
+        self, round_index: int, global_state: State, kept: Sequence[ClientUpdate]
+    ) -> Tuple[State, Dict[str, object]]:
+        extra: Dict[str, object] = {}
+        if kept:
+            client_states: List[State] = []
+            # The clipping + noising of each returned update happens on the
+            # server side with one sequential RNG stream, in cohort order, so
+            # the noise draws are identical under any execution backend.
+            for update in kept:
+                private_state, raw_norm = privatize_update(
+                    global_state, update.state, self.privacy, self._noise_rng
+                )
+                self.update_log.record(raw_norm, self.privacy.clip_norm)
+                client_states.append(private_state)
+            weights = [float(self.clients[update.client_index].num_samples) for update in kept]
+            extra["client_drift"] = average_pairwise_distance(client_states)
+            global_state = self.server.aggregate(client_states, weights)
+            self.accountant.record_round()
+        self.save_checkpoint(
+            round_index,
+            global_state,
+            extra_meta={
+                "noise_rng": self._noise_rng.bit_generator.state,
+                "raw_norms": list(self.update_log.raw_norms),
+                "clipped_hits": self.update_log.clipped_fraction_hits,
+                # The accountant's applied-mechanism count: under a deadline
+                # policy a round can keep zero updates and release nothing,
+                # so it cannot be reconstructed from the round index alone.
+                "privacy_steps": self.accountant.steps,
+            },
+        )
+        extra["epsilon"] = self.accountant.epsilon()
+        extra["clipped_fraction"] = self.update_log.clipped_fraction
+        return global_state, extra
+
     def run(self) -> TrainingResult:
         result = TrainingResult(algorithm=self.name)
         global_state = self.initial_state()
-        weights = self.client_weights()
-        mu = self.config.proximal_mu
-        rng = new_rng(np.random.SeedSequence([self.config.seed, 0xD9]))
+        self._noise_rng = new_rng(np.random.SeedSequence([self.config.seed, 0xD9]))
 
         start_round = 0
         resumed = self.load_checkpoint(reference_state=global_state)
@@ -63,53 +99,19 @@ class DPFedProx(FederatedAlgorithm):
             start_round = resumed.round_index + 1
             global_state = resumed.global_state
             if "noise_rng" in resumed.extra_meta:
-                rng.bit_generator.state = resumed.extra_meta["noise_rng"]
+                self._noise_rng.bit_generator.state = resumed.extra_meta["noise_rng"]
             if "raw_norms" in resumed.extra_meta:
                 self.update_log.raw_norms = [float(v) for v in resumed.extra_meta["raw_norms"]]
                 self.update_log.clipped_fraction_hits = int(
                     resumed.extra_meta.get("clipped_hits", 0)
                 )
-            self.accountant.record_round(start_round)
-
-        for round_index in range(start_round, self.config.rounds):
-            updates = self.map_client_updates(
-                global_state, steps=self.config.local_steps, proximal_mu=mu
-            )
-            client_states: List[State] = []
-            per_client_loss: Dict[int, float] = {}
-            # The clipping + noising of each returned update happens on the
-            # server side with one sequential RNG stream, in client order, so
-            # the noise draws are identical under any execution backend.
-            for update in updates:
-                private_state, raw_norm = privatize_update(
-                    global_state, update.state, self.privacy, rng
-                )
-                self.update_log.record(raw_norm, self.privacy.clip_norm)
-                client_states.append(private_state)
-                per_client_loss[update.client_id] = update.stats.mean_loss
-            drift = average_pairwise_distance(client_states)
-            global_state = self.server.aggregate(client_states, weights)
-            self.accountant.record_round()
-            self.save_checkpoint(
-                round_index,
-                global_state,
-                extra_meta={
-                    "noise_rng": rng.bit_generator.state,
-                    "raw_norms": list(self.update_log.raw_norms),
-                    "clipped_hits": self.update_log.clipped_fraction_hits,
-                },
-            )
-            result.history.append(
-                self._round_record(
-                    round_index,
-                    per_client_loss,
-                    extra={
-                        "client_drift": drift,
-                        "epsilon": self.accountant.epsilon(),
-                        "clipped_fraction": self.update_log.clipped_fraction,
-                    },
-                )
+            # Restore the exact mechanism count (a scheduled round may have
+            # released nothing); older checkpoints without the count fall
+            # back to one application per completed round.
+            self.accountant.record_round(
+                int(resumed.extra_meta.get("privacy_steps", start_round))
             )
 
+        global_state = self._run_global_rounds(result, global_state, start_round)
         result.global_state = global_state
         return result

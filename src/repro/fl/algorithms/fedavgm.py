@@ -7,13 +7,19 @@ routability data this damps the round-to-round oscillation of the global
 model — the same fluctuation the paper's FLNet is designed to be robust to —
 so it is a natural server-side complement to FedProx's client-side proximal
 term.
+
+Under a round scheduler the pseudo-gradient is computed from whichever
+cohort updates survived the round policy; a round whose every selected
+client missed the deadline leaves both the global model and the momentum
+buffer untouched.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 from repro.fl.algorithms.base import FederatedAlgorithm, TrainingResult
+from repro.fl.execution import ClientUpdate
 from repro.fl.parameters import State, average_pairwise_distance, zeros_like_state
 
 
@@ -22,18 +28,37 @@ class FedAvgM(FederatedAlgorithm):
 
     name = "fedavgm"
     supports_checkpointing = True
+    supports_scheduling = True
 
     #: Server momentum coefficient; subclasses or experiments may override.
     server_momentum: float = 0.9
+
+    def _global_round(
+        self, round_index: int, global_state: State, kept: Sequence[ClientUpdate]
+    ) -> Tuple[State, Dict[str, object]]:
+        extra: Dict[str, object] = {}
+        if kept:
+            client_states: List[State] = [update.state for update in kept]
+            weights = [float(self.clients[update.client_index].num_samples) for update in kept]
+            extra["client_drift"] = average_pairwise_distance(client_states)
+            average = self.server.aggregate(client_states, weights)
+
+            # Pseudo-gradient: how far the average moved away from the global
+            # model this round; momentum accumulates it across rounds.
+            for name in global_state:
+                delta = global_state[name] - average[name]
+                self._velocity[name] = self.server_momentum * self._velocity[name] + delta
+                global_state[name] = global_state[name] - self._velocity[name]
+
+        self.save_checkpoint(round_index, global_state, extra_states={"velocity": self._velocity})
+        return global_state, extra
 
     def run(self) -> TrainingResult:
         if not 0.0 <= self.server_momentum < 1.0:
             raise ValueError(f"server_momentum must be in [0, 1), got {self.server_momentum}")
         result = TrainingResult(algorithm=self.name)
         global_state = self.initial_state()
-        velocity: State = zeros_like_state(global_state)
-        weights = self.client_weights()
-        mu = self.config.proximal_mu
+        self._velocity: State = zeros_like_state(global_state)
 
         start_round = 0
         resumed = self.load_checkpoint(reference_state=global_state)
@@ -41,30 +66,8 @@ class FedAvgM(FederatedAlgorithm):
             start_round = resumed.round_index + 1
             global_state = resumed.global_state
             if "velocity" in resumed.extra_states:
-                velocity = resumed.extra_states["velocity"]
+                self._velocity = resumed.extra_states["velocity"]
 
-        for round_index in range(start_round, self.config.rounds):
-            updates = self.map_client_updates(
-                global_state, steps=self.config.local_steps, proximal_mu=mu
-            )
-            client_states: List[State] = [update.state for update in updates]
-            per_client_loss: Dict[int, float] = {
-                update.client_id: update.stats.mean_loss for update in updates
-            }
-            drift = average_pairwise_distance(client_states)
-            average = self.server.aggregate(client_states, weights)
-
-            # Pseudo-gradient: how far the average moved away from the global
-            # model this round; momentum accumulates it across rounds.
-            for name in global_state:
-                delta = global_state[name] - average[name]
-                velocity[name] = self.server_momentum * velocity[name] + delta
-                global_state[name] = global_state[name] - velocity[name]
-
-            self.save_checkpoint(round_index, global_state, extra_states={"velocity": velocity})
-            result.history.append(
-                self._round_record(round_index, per_client_loss, extra={"client_drift": drift})
-            )
-
+        global_state = self._run_global_rounds(result, global_state, start_round)
         result.global_state = global_state
         return result

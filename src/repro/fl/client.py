@@ -22,6 +22,10 @@ from repro.models.base import RoutabilityModel
 
 ModelFactory = Callable[[], RoutabilityModel]
 
+#: Seed-stream tag for per-client model initializations (mixed with the
+#: client id), kept separate from the training RNG the trainer shares.
+_INIT_SEED_TAG = 0x1217
+
 
 class FederatedClient:
     """One participant of decentralized training."""
@@ -43,6 +47,7 @@ class FederatedClient:
         self.config = config
         self._model_factory = model_factory
         self._model = model_factory()
+        self._initial_state: Optional[State] = None
         self._rng = rng if rng is not None else np.random.default_rng(client_id)
         self._trainer = LocalTrainer(
             loss=config.loss,
@@ -142,8 +147,31 @@ class FederatedClient:
         return roc_auc_score(labels, scores)
 
     def initial_state(self) -> State:
-        """A fresh model initialization (used by algorithms that need per-client inits)."""
-        return self._model_factory().state_dict()
+        """This client's own model initialization (lazy, cached, reproducible).
+
+        Built at most once per client, on first call — not rebuilt on every
+        call — and returned as a fresh copy thereafter.  When the factory
+        supports explicit seeding (``build_with_seed``, as
+        :class:`~repro.fl.SeededModelFactory` does), the seed comes from a
+        dedicated per-client stream (derived from the client id), so the
+        initialization is a deterministic function of the client —
+        independent of how many models anyone else has pulled from the
+        shared factory, and without consuming a draw from the training RNG
+        the trainer shares (calling this must never perturb batch
+        shuffling).  Legacy factories fall back to one plain (lazy) factory
+        call.
+        """
+        if self._initial_state is None:
+            seeded_builder = getattr(self._model_factory, "build_with_seed", None)
+            if seeded_builder is not None:
+                init_rng = np.random.default_rng(
+                    np.random.SeedSequence([self.client_id, _INIT_SEED_TAG])
+                )
+                model = seeded_builder(int(init_rng.integers(0, 2**31 - 1)))
+            else:
+                model = self._model_factory()
+            self._initial_state = model.state_dict()
+        return clone_state(self._initial_state)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -39,6 +39,12 @@ one task per client
     A single ``map`` call may contain at most one task per client; chaining
     two updates of the same client within one call would make the RNG
     hand-off ambiguous.  Backends raise ``ValueError`` otherwise.
+cohort dispatch
+    A ``map`` call need not cover the bound roster: under partial
+    participation (see :mod:`repro.fl.scheduling`) it carries tasks only
+    for the round's cohort, in roster order.  Clients outside the cohort
+    are untouched — their RNG state does not advance — so sampled runs stay
+    bit-identical across backends and across checkpoint resume.
 
 Transport envelopes
 -------------------

@@ -1,0 +1,154 @@
+"""Straggler latency models: how long a dispatched client takes to report.
+
+A :class:`LatencyModel` assigns every dispatched client task a simulated
+round-trip duration (local compute + both network legs) in virtual seconds.
+The round policies consume these durations: a synchronous round lasts as
+long as its slowest client, a deadline round drops whoever exceeds the
+cutoff, and the buffered-asynchronous loop orders update arrivals by them.
+
+Draws happen once per dispatch, in cohort order, in the coordinating
+process, from a private seeded RNG — so simulated time is bit-reproducible
+across execution backends, and the RNG state is checkpointable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+#: Seed-stream tag reserved for latency RNGs (mixed into the run seed).
+LATENCY_SEED_TAG = 0x17E3
+
+#: Straggler model names understood by :func:`create_latency` (and the CLI).
+STRAGGLER_CHOICES = ("none", "uniform", "lognormal", "heavytail")
+
+
+class LatencyModel:
+    """Interface of every straggler latency model."""
+
+    #: Registry / CLI name, overridden by subclasses.
+    name: str = "base"
+
+    def sample(self, client_index: int, client_id: int) -> float:
+        """One simulated round-trip duration (virtual seconds, >= 0)."""
+        raise NotImplementedError
+
+    def state(self) -> Dict[str, object]:
+        """JSON-serializable snapshot for checkpointing (RNG state, if any)."""
+        return {}
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`state`."""
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}({self.describe()})"
+
+
+class ZeroLatency(LatencyModel):
+    """Every client reports instantly (the default: no straggler simulation)."""
+
+    name = "none"
+
+    def sample(self, client_index: int, client_id: int) -> float:
+        return 0.0
+
+
+class _SeededLatency(LatencyModel):
+    """Shared RNG plumbing of the stochastic latency models."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(np.random.SeedSequence([self.seed, LATENCY_SEED_TAG]))
+
+    def state(self) -> Dict[str, object]:
+        return {"rng": self._rng.bit_generator.state}
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        if "rng" in state:
+            self._rng.bit_generator.state = state["rng"]
+
+
+class UniformLatency(_SeededLatency):
+    """Durations uniform in ``[low, high]`` — mild, bounded stragglers."""
+
+    name = "uniform"
+
+    def __init__(self, low: float = 5.0, high: float = 30.0, seed: int = 0):
+        super().__init__(seed)
+        if low < 0 or high < low:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, client_index: int, client_id: int) -> float:
+        return float(self._rng.uniform(self.low, self.high))
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.low:g}, {self.high:g}]"
+
+
+class LogNormalLatency(_SeededLatency):
+    """Log-normal durations: ``median * exp(sigma * N(0, 1))``.
+
+    The standard model for device compute time in FL simulators; most
+    clients land near the median and a tail of stragglers takes several
+    times longer.  ``sigma`` controls the tail weight.
+    """
+
+    name = "lognormal"
+
+    def __init__(self, median: float = 10.0, sigma: float = 0.8, seed: int = 0):
+        super().__init__(seed)
+        if median <= 0 or sigma < 0:
+            raise ValueError(f"need median > 0 and sigma >= 0, got {median}, {sigma}")
+        self.median = float(median)
+        self.sigma = float(sigma)
+
+    def sample(self, client_index: int, client_id: int) -> float:
+        return float(self.median * np.exp(self.sigma * self._rng.standard_normal()))
+
+    def describe(self) -> str:
+        return f"{self.name}(median={self.median:g}, sigma={self.sigma:g})"
+
+
+class ParetoLatency(_SeededLatency):
+    """Heavy-tailed (Pareto) durations: ``scale * (1 + Pareto(shape))``.
+
+    With ``shape <= 2`` the distribution has infinite variance — occasional
+    clients take an order of magnitude longer than the median, which is the
+    regime where deadline cutoffs and buffered-asynchronous aggregation pay
+    off over a synchronous barrier.
+    """
+
+    name = "heavytail"
+
+    def __init__(self, scale: float = 5.0, shape: float = 1.5, seed: int = 0):
+        super().__init__(seed)
+        if scale <= 0 or shape <= 0:
+            raise ValueError(f"need scale > 0 and shape > 0, got {scale}, {shape}")
+        self.scale = float(scale)
+        self.shape = float(shape)
+
+    def sample(self, client_index: int, client_id: int) -> float:
+        return float(self.scale * (1.0 + self._rng.pareto(self.shape)))
+
+    def describe(self) -> str:
+        return f"{self.name}(scale={self.scale:g}, shape={self.shape:g})"
+
+
+def create_latency(name: Optional[str], seed: int = 0) -> LatencyModel:
+    """Instantiate a straggler latency model by name (``None`` = no latency)."""
+    key = (name or "none").lower()
+    if key == "none":
+        return ZeroLatency()
+    if key == "uniform":
+        return UniformLatency(seed=seed)
+    if key == "lognormal":
+        return LogNormalLatency(seed=seed)
+    if key == "heavytail":
+        return ParetoLatency(seed=seed)
+    raise ValueError(f"unknown straggler model {name!r}; available: {STRAGGLER_CHOICES}")

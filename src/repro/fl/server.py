@@ -11,9 +11,9 @@ from typing import Dict, Iterable, List, Sequence
 
 from repro.fl.parameters import (
     State,
+    check_compatible,
     clone_state,
     filter_state,
-    interpolate,
     merge_partition,
     weighted_average,
 )
@@ -77,21 +77,46 @@ class FederatedServer:
         For client ``k``:
         ``W_k = alpha * w_k + (1 - alpha) * sum_{k' != k} n_k' / (n - n_k) * w_k'``.
         With a single client the method degenerates to the client's own state.
+
+        The leave-one-out averages are computed in O(K): the weighted sum
+        over *all* clients is formed once and each client's own contribution
+        is subtracted, instead of re-averaging the K-1 other states per
+        client.  Agrees with the per-client ``weighted_average`` loop to
+        floating-point accuracy (see the parity test).
         """
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
-        result: Dict[int, State] = {}
         client_ids = list(client_states)
+        if len(client_ids) == 1:
+            only = client_ids[0]
+            return {only: clone_state(client_states[only])}
+        check_compatible([client_states[cid] for cid in client_ids])
+        weights = {cid: float(client_weights[cid]) for cid in client_ids}
+        if any(weight < 0 for weight in weights.values()):
+            raise ValueError("weights must be non-negative")
+        total_weight = sum(weights.values())
+        reference = client_states[client_ids[0]]
+        # One pass: sum_k n_k * w_k over every client, per parameter.
+        weighted_sum: State = {
+            name: sum(
+                weights[cid] * client_states[cid][name] for cid in client_ids
+            )
+            for name in reference
+        }
+        result: Dict[int, State] = {}
         for client_id in client_ids:
             own = client_states[client_id]
-            other_ids = [cid for cid in client_ids if cid != client_id]
-            if not other_ids:
+            remaining = total_weight - weights[client_id]
+            if remaining <= 0:
+                # Every other client has zero weight: nothing to mix in.
                 result[client_id] = clone_state(own)
                 continue
-            other_states = [client_states[cid] for cid in other_ids]
-            other_weights = [client_weights[cid] for cid in other_ids]
-            others_average = weighted_average(other_states, other_weights)
-            result[client_id] = interpolate(own, others_average, alpha)
+            result[client_id] = {
+                name: alpha * own[name]
+                + (1.0 - alpha)
+                * ((weighted_sum[name] - weights[client_id] * own[name]) / remaining)
+                for name in own
+            }
         return result
 
     def partition_merge(self, global_state: State, local_state: State, local_names: Iterable[str]) -> State:

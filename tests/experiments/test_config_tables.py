@@ -69,6 +69,36 @@ class TestPresets:
         with pytest.raises(ValueError, match="workers must be positive"):
             default("flnet").with_execution(workers=0)
 
+    def test_with_scheduling_keeps_omitted_options(self):
+        config = default("flnet").with_scheduling(participation=0.5)
+        updated = config.with_scheduling(straggler_model="lognormal")
+        assert updated.participation == 0.5  # omitted -> kept
+        assert updated.straggler_model == "lognormal"
+        assert updated.scheduling_requested
+        cleared = updated.with_scheduling(participation=None, straggler_model=None)
+        assert not cleared.scheduling_requested
+
+    def test_scheduling_options_validated(self):
+        with pytest.raises(ValueError, match="participation"):
+            default("flnet").with_scheduling(participation=1.5)
+        with pytest.raises(ValueError, match="unknown straggler model"):
+            default("flnet").with_scheduling(straggler_model="snail")
+        with pytest.raises(ValueError, match="deadline"):
+            default("flnet").with_scheduling(round_policy="deadline")
+
+    def test_fedbuff_incompatible_algorithms_fail_at_config_time(self):
+        # fedavgm supports scheduling but not the fedbuff policy; the
+        # mismatch must surface before any algorithm trains.
+        with pytest.raises(ValueError, match="not supported by \\['fedavgm'\\]"):
+            default("flnet").with_algorithms(["fedavg", "fedavgm"]).with_scheduling(
+                round_policy="fedbuff"
+            )
+        # The FedProx family is fine.
+        config = default("flnet").with_algorithms(["fedavg", "fedprox"]).with_scheduling(
+            round_policy="fedbuff"
+        )
+        assert config.round_policy == "fedbuff"
+
     def test_each_preset_targets_all_three_models(self):
         for model in ("flnet", "routenet", "pros"):
             assert preset("smoke", model).model == model

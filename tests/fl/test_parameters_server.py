@@ -207,3 +207,42 @@ class TestFederatedServer:
         server = FederatedServer()
         with pytest.raises(ValueError):
             server.alpha_portion_sync({1: make_state(1.0)}, {1: 1.0}, alpha=1.5)
+
+    def test_alpha_portion_sync_parity_with_naive_loop(self):
+        """The O(K) subtract-own-contribution aggregation matches the
+        original per-client ``weighted_average`` loop to float accuracy."""
+        rng = np.random.default_rng(42)
+        client_ids = list(range(1, 8))
+        states = {
+            cid: {"w": rng.normal(size=(4, 3)), "b": rng.normal(size=(5,))}
+            for cid in client_ids
+        }
+        weights = {cid: float(rng.integers(1, 60)) for cid in client_ids}
+        server = FederatedServer()
+        for alpha in (0.0, 0.3, 0.5, 1.0):
+            fast = server.alpha_portion_sync(states, weights, alpha)
+            for cid in client_ids:
+                other_ids = [o for o in client_ids if o != cid]
+                naive = interpolate(
+                    states[cid],
+                    weighted_average(
+                        [states[o] for o in other_ids],
+                        [weights[o] for o in other_ids],
+                    ),
+                    alpha,
+                )
+                for name in naive:
+                    np.testing.assert_allclose(
+                        fast[cid][name], naive[name], rtol=0, atol=1e-12
+                    )
+
+    def test_alpha_portion_sync_zero_weight_others(self):
+        # When every other client has zero weight there is nothing to mix
+        # in; the client keeps its own state.
+        server = FederatedServer()
+        mixed = server.alpha_portion_sync(
+            {1: make_state(2.0), 2: make_state(9.0)}, {1: 0.0, 2: 5.0}, alpha=0.25
+        )
+        assert np.allclose(mixed[2]["w"], 9.0)
+        # Client 1 mixes in client 2's state as usual.
+        assert np.allclose(mixed[1]["w"], 0.25 * 2.0 + 0.75 * 9.0)
