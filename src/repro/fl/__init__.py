@@ -136,15 +136,22 @@ from repro.fl.evaluation import (
     rows_to_table,
 )
 from repro.fl.parameters import (
+    FlatState,
     State,
+    StateLayout,
+    as_flat_state,
     average_pairwise_distance,
     clone_state,
     filter_state,
+    flat_model_state,
+    flat_states_disabled,
     flatten_state,
     interpolate,
     merge_partition,
+    reference_mode,
     state_distance,
     state_norm,
+    state_vector,
     weighted_average,
     zeros_like_state,
 )
@@ -343,6 +350,13 @@ __all__ = [
     "local_average_row",
     "rows_to_table",
     "State",
+    "FlatState",
+    "StateLayout",
+    "as_flat_state",
+    "flat_model_state",
+    "flat_states_disabled",
+    "reference_mode",
+    "state_vector",
     "weighted_average",
     "interpolate",
     "merge_partition",

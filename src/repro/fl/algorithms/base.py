@@ -18,7 +18,7 @@ from repro.fl.execution import (
     RoundCheckpoint,
     SerialBackend,
 )
-from repro.fl.parameters import State, clone_state
+from repro.fl.parameters import State, clone_state, flat_model_state
 from repro.fl.scheduling import RoundScheduler
 from repro.fl.server import FederatedServer
 from repro.fl.transport import Channel
@@ -170,8 +170,8 @@ class FederatedAlgorithm:
         return [float(client.num_samples) for client in self.clients]
 
     def initial_state(self) -> State:
-        """A fresh global model initialization."""
-        return self.model_factory().state_dict()
+        """A fresh global model initialization (packed into a flat buffer)."""
+        return flat_model_state(self.model_factory())
 
     def map_client_updates(
         self,

@@ -23,7 +23,14 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.fl.algorithms.base import FederatedAlgorithm, TrainingResult
 from repro.fl.execution import ClientUpdate
-from repro.fl.parameters import State, average_pairwise_distance, weighted_average
+from repro.fl.parameters import (
+    FlatState,
+    State,
+    average_pairwise_distance,
+    state_vector,
+    weighted_average,
+    wrap_flat,
+)
 
 
 @dataclass
@@ -184,6 +191,24 @@ class FedProx(FederatedAlgorithm):
                 # sample-weighted average over the buffered clients.
                 return weighted_average([entry.update.state for entry in entries], weights)
             total = float(sum(weights))
+            if isinstance(global_state, FlatState) and all(
+                isinstance(entry.update.state, FlatState)
+                and isinstance(entry.dispatch_state, FlatState)
+                for entry, _, _ in buffer
+            ):
+                # Staleness-weighted folding over the contiguous buffers:
+                # one axpy per buffered update, in arrival order — the same
+                # elementwise operations as the per-name loop below, so the
+                # two paths stay bit-identical.
+                layout = global_state.layout
+                folded_vector = global_state.vector.copy()
+                for entry, weight, _ in buffer:
+                    scale = weight / total
+                    folded_vector += scale * (
+                        state_vector(entry.update.state, layout)
+                        - state_vector(entry.dispatch_state, layout)
+                    )
+                return wrap_flat(layout, folded_vector)
             folded = {name: values.copy() for name, values in global_state.items()}
             for entry, weight, _ in buffer:
                 scale = weight / total

@@ -15,7 +15,7 @@ import numpy as np
 from repro.data.clients import ClientData
 from repro.data.dataset import RoutabilityDataset
 from repro.fl.config import FLConfig
-from repro.fl.parameters import State, clone_state
+from repro.fl.parameters import State, clone_state, flat_model_state
 from repro.fl.trainer import LocalTrainer, StepStatistics, predict_dataset
 from repro.metrics.roc import roc_auc_score
 from repro.models.base import RoutabilityModel
@@ -122,14 +122,14 @@ class FederatedClient:
             proximal_mu=mu,
             proximal_reference=reference,
         )
-        return self._model.state_dict(), stats
+        return flat_model_state(self._model), stats
 
     def fine_tune(self, initial_state: State, steps: Optional[int] = None) -> tuple:
         """Personalize ``initial_state`` with plain local steps (no proximal term)."""
         steps = steps if steps is not None else self.config.finetune_steps
         self._model.load_state_dict(initial_state)
         stats = self._trainer.train_steps(self._model, self.train_dataset, steps=steps)
-        return self._model.state_dict(), stats
+        return flat_model_state(self._model), stats
 
     def training_loss(self, state: State, max_batches: Optional[int] = None) -> float:
         """Loss of ``state`` on this client's training data (IFCA cluster choice)."""
@@ -170,7 +170,7 @@ class FederatedClient:
                 model = seeded_builder(int(init_rng.integers(0, 2**31 - 1)))
             else:
                 model = self._model_factory()
-            self._initial_state = model.state_dict()
+            self._initial_state = flat_model_state(model)
         return clone_state(self._initial_state)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -55,6 +55,14 @@ requests it — the resulting state is encoded before it is returned.  For
 the process pool this means only compressed payloads cross the process
 boundary.  The decode/encode operations are pure functions of the payload,
 so the bit-identity contract above extends to every codec.
+
+Flat-buffer hand-off
+--------------------
+Raw (uncompressed) states are :class:`~repro.fl.parameters.FlatState`
+objects whose custom pickling ships **one contiguous buffer** plus a tiny
+``(name, shape)`` key per state — not a dict of per-tensor arrays — so an
+uncompressed round crosses the process boundary as a single block each way.
+Delta uploads are computed as one vector subtraction over those buffers.
 """
 
 from __future__ import annotations
@@ -65,7 +73,7 @@ import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.fl.parameters import State
+from repro.fl.parameters import State, flat_pair, wrap_flat
 from repro.fl.trainer import StepStatistics
 
 #: Task operations understood by every backend.
@@ -140,7 +148,14 @@ def run_client_task(client, task: ClientTask):
         raise ValueError(f"unknown client op {task.op!r}")
     if task.wire is not None and task.wire.up_codec is not None:
         if task.wire.delta_upload:
-            target = {name: new_state[name] - start_state[name] for name in new_state}
+            # Flat states compute the upload delta on their contiguous
+            # buffers in one pass (bit-identical to the per-name loop).
+            pair = flat_pair(start_state, new_state)
+            if pair is not None:
+                layout, start_vector, new_vector = pair
+                target = wrap_flat(layout, new_vector - start_vector)
+            else:
+                target = {name: new_state[name] - start_state[name] for name in new_state}
         else:
             target = new_state
         return None, task.wire.up_codec.encode(target), stats

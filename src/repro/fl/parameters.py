@@ -1,4 +1,4 @@
-"""Operations on model state dictionaries used by federated aggregation.
+"""Operations on model parameter states used by federated aggregation.
 
 A "state" is the flat ``name -> ndarray`` mapping produced by
 :meth:`repro.nn.Module.state_dict`.  Everything the developer ever sees in
@@ -6,34 +6,469 @@ the decentralized setting is one of these states — never raw data — so all
 server-side algorithms (FedAvg/FedProx averaging, FedProx-LG partial
 aggregation, IFCA per-cluster aggregation, alpha-portion sync) are expressed
 as arithmetic over states.
+
+The flat-buffer engine
+----------------------
+Server-side arithmetic used to be dict comprehensions over ``name ->
+ndarray``, paying per-tensor Python overhead, ``np.stack`` copies, and dict
+re-materialization on paths that run once per client per round.  The engine
+below makes that whole layer operate on single contiguous buffers:
+
+:class:`StateLayout`
+    A frozen layout — ordered names, shapes, per-entry offsets into one
+    flat float64 vector — derived once per distinct architecture and
+    interned, so two states of the same model share one layout *object*.
+:class:`FlatState`
+    A ``dict`` subclass whose values are **zero-copy views** into one
+    contiguous 1-D ``vector``.  Algorithms keep indexing ``state[name]``
+    exactly as before (the dict API is the thin view), while the hot
+    arithmetic below reaches straight for ``state.vector``:
+    :func:`weighted_average` becomes one ``(K, P) @ (K,)`` GEMV instead of a
+    per-name stack/tensordot loop, :func:`interpolate`, delta
+    encode/decode, error-feedback folds, and
+    :meth:`~repro.fl.FederatedServer.alpha_portion_sync` become whole-model
+    vector ops, and pickling (:meth:`FlatState.__reduce__`) ships the one
+    buffer across process boundaries instead of a dict of arrays.
+
+Bit-parity rules
+----------------
+Everything elementwise (interpolate, clone, deltas, folds, noise, clipping
+scale) is **bit-identical** to the per-name dict loops by construction: the
+flat vector stores each tensor's elements contiguously in state order, so
+the same IEEE operations run on the same values in the same order.
+:func:`weighted_average` is the one deliberate exception: the single GEMV
+may differ from the per-name ``np.tensordot`` loop at the last ulp (BLAS
+kernel tails), which is why the pre-refactor implementation is kept as
+:func:`reference_weighted_average` behind the :func:`reference_mode` test
+flag and asserted against at ``1e-12``.  Flat and plain-dict inputs always
+produce identical results because both are routed through the same packed
+GEMV.
+
+``sorted`` vs. state order
+--------------------------
+A layout preserves its source state's key order (the model's
+``state_dict`` insertion order) so per-name RNG consumption — e.g. DP noise
+draws — is unchanged.  The wire codecs flatten in *sorted* name order (the
+PR 2 wire format); :meth:`StateLayout.sorted_permutation` provides the
+cached gather indices between the two orders.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 State = Dict[str, np.ndarray]
 
+#: One layout entry: ``(name, shape)``.
+LayoutEntry = Tuple[str, Tuple[int, ...]]
+
+# -- engine switches (test flags) ------------------------------------------------
+#
+# ``_FLAT_ENABLED`` controls the *representation*: when off, the conversion
+# points (initial states, client results, codec decodes, checkpoint loads)
+# hand out plain dicts, reproducing the pre-refactor dict path with the same
+# arithmetic.  ``_REFERENCE`` additionally routes ``weighted_average``
+# through the pre-refactor stack/tensordot loop for parity assertions and
+# benchmarks.  Both are module-global so forked worker processes inherit
+# them.
+
+_FLAT_ENABLED = True
+_REFERENCE = False
+
+
+def flat_states_enabled() -> bool:
+    """Whether the conversion points produce :class:`FlatState` objects."""
+    return _FLAT_ENABLED
+
+
+@contextmanager
+def flat_states_disabled():
+    """Run with plain-dict states (the dict path) for parity tests."""
+    global _FLAT_ENABLED
+    previous = _FLAT_ENABLED
+    _FLAT_ENABLED = False
+    try:
+        yield
+    finally:
+        _FLAT_ENABLED = previous
+
+
+@contextmanager
+def reference_mode():
+    """Run with the pre-refactor aggregation arithmetic (parity/benchmarks)."""
+    global _REFERENCE
+    previous = _REFERENCE
+    _REFERENCE = True
+    try:
+        yield
+    finally:
+        _REFERENCE = previous
+
+
+# -- the frozen layout -----------------------------------------------------------
+
+
+class StateLayout:
+    """Frozen description of a model state: ordered names, shapes, offsets.
+
+    Layouts are derived once per distinct ``(name, shape)`` sequence and
+    interned (:meth:`of`), so every state of the same architecture shares
+    one layout object and compatibility checks reduce to an identity (or
+    cached set-equality) test instead of rebuilding ``set(state)`` per call.
+    """
+
+    __slots__ = (
+        "entries",
+        "names",
+        "shapes",
+        "sizes",
+        "offsets",
+        "total_size",
+        "entry_set",
+        "_sorted_perm",
+        "_sorted_schema",
+        "_gather_cache",
+    )
+
+    _interned: Dict[Tuple[LayoutEntry, ...], "StateLayout"] = {}
+
+    def __init__(self, entries: Tuple[LayoutEntry, ...]):
+        names = tuple(name for name, _ in entries)
+        if len(set(names)) != len(names):
+            raise ValueError("layout entries contain duplicate names")
+        self.entries = entries
+        self.names = names
+        self.shapes = tuple(shape for _, shape in entries)
+        self.sizes = tuple(
+            int(np.prod(shape, dtype=np.int64)) if shape else 1 for shape in self.shapes
+        )
+        offsets = [0]
+        for size in self.sizes:
+            offsets.append(offsets[-1] + size)
+        self.total_size = offsets.pop()
+        self.offsets = tuple(offsets)
+        self.entry_set = frozenset(entries)
+        self._sorted_perm: Optional[np.ndarray] = None
+        self._sorted_schema: Optional[Tuple[LayoutEntry, ...]] = None
+        self._gather_cache: Dict[int, np.ndarray] = {}
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def of(cls, entries: Iterable[Tuple[str, Iterable[int]]]) -> "StateLayout":
+        """The interned layout for an ``(name, shape)`` sequence."""
+        key = tuple((str(name), tuple(int(dim) for dim in shape)) for name, shape in entries)
+        layout = cls._interned.get(key)
+        if layout is None:
+            layout = cls(key)
+            cls._interned[key] = layout
+        return layout
+
+    @classmethod
+    def from_state(cls, state: State) -> "StateLayout":
+        """The layout of a state mapping, preserving its key order."""
+        return cls.of((name, np.asarray(values).shape) for name, values in state.items())
+
+    # -- iteration ----------------------------------------------------------------
+    def iter_slots(self) -> Iterator[Tuple[str, Tuple[int, ...], int, int]]:
+        """Yield ``(name, shape, offset, size)`` per entry, in layout order."""
+        return zip(self.names, self.shapes, self.offsets, self.sizes)
+
+    # -- sorted (wire) order ------------------------------------------------------
+    def sorted_schema(self) -> Tuple[LayoutEntry, ...]:
+        """The ``(name, shape)`` entries in sorted name order (wire schema)."""
+        if self._sorted_schema is None:
+            self._sorted_schema = tuple(sorted(self.entries))
+        return self._sorted_schema
+
+    def sorted_permutation(self) -> Optional[np.ndarray]:
+        """Gather indices mapping this layout's vector to sorted name order.
+
+        ``None`` when the layout already is in sorted order (the common case
+        for codec-decoded states).  The returned array is cached and
+        read-only.
+        """
+        if self.names == tuple(sorted(self.names)):
+            return None
+        if self._sorted_perm is None:
+            index = {name: position for position, name in enumerate(self.names)}
+            chunks = []
+            for name in sorted(self.names):
+                position = index[name]
+                offset = self.offsets[position]
+                chunks.append(np.arange(offset, offset + self.sizes[position], dtype=np.int64))
+            perm = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+            perm.setflags(write=False)
+            self._sorted_perm = perm
+        return self._sorted_perm
+
+    # -- alignment with other layouts ---------------------------------------------
+    def compatible_with(self, other: "StateLayout") -> bool:
+        """Same names and shapes (order may differ)."""
+        return self is other or self.entry_set == other.entry_set
+
+    def gather_from(self, other: "StateLayout") -> np.ndarray:
+        """Indices ``p`` such that ``other_vector[p]`` is in *this* order.
+
+        Requires :meth:`compatible_with`; the permutation is cached per
+        source layout (layouts are interned, so ``id`` is a stable key).
+        """
+        cached = self._gather_cache.get(id(other))
+        if cached is not None:
+            return cached
+        if not self.compatible_with(other):
+            raise ValueError("cannot align states with different names/shapes")
+        position = {name: index for index, name in enumerate(other.names)}
+        chunks = []
+        for name, _, _, size in self.iter_slots():
+            source = position[name]
+            offset = other.offsets[source]
+            chunks.append(np.arange(offset, offset + size, dtype=np.int64))
+        perm = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+        perm.setflags(write=False)
+        self._gather_cache[id(other)] = perm
+        return perm
+
+    # -- packing ------------------------------------------------------------------
+    def pack(self, state: State, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Copy a state's values into one contiguous float64 vector."""
+        vector = out if out is not None else np.empty(self.total_size, dtype=np.float64)
+        for name, shape, offset, size in self.iter_slots():
+            np.copyto(vector[offset : offset + size].reshape(shape), state[name])
+        return vector
+
+    def view_dict(self, vector: np.ndarray) -> State:
+        """A plain dict of zero-copy views into ``vector`` (layout order)."""
+        return {
+            name: vector[offset : offset + size].reshape(shape)
+            for name, shape, offset, size in self.iter_slots()
+        }
+
+    def __eq__(self, other) -> bool:
+        return self is other or (
+            isinstance(other, StateLayout) and self.entries == other.entries
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StateLayout({len(self.entries)} tensors, {self.total_size} values)"
+
+
+# -- the flat state --------------------------------------------------------------
+
+
+class FlatState(dict):
+    """A model state backed by one contiguous float64 buffer.
+
+    Behaves exactly like the ``name -> ndarray`` dicts the algorithms have
+    always consumed — every value is a zero-copy view into :attr:`vector`,
+    so reading is free and assigning to an existing name writes through to
+    the buffer.  The key set is frozen (adding/removing entries would desync
+    the views from the buffer and raises ``ValueError``).
+    """
+
+    __slots__ = ("layout", "vector")
+
+    def __init__(self, layout: StateLayout, vector: np.ndarray):
+        vector = np.asarray(vector)
+        if vector.dtype != np.float64:
+            vector = vector.astype(np.float64)
+        if vector.ndim != 1 or vector.size != layout.total_size:
+            raise ValueError(
+                f"vector of size {vector.size} does not match layout "
+                f"({layout.total_size} values)"
+            )
+        if not vector.flags.c_contiguous:
+            vector = np.ascontiguousarray(vector)
+        self.layout = layout
+        self.vector = vector
+        dict.__init__(self, layout.view_dict(vector))
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_items(cls, items: Iterable[Tuple[str, np.ndarray]]) -> "FlatState":
+        """Pack ``(name, array)`` pairs into a fresh flat state (one copy)."""
+        pairs = [(name, np.asarray(values)) for name, values in items]
+        layout = StateLayout.of((name, values.shape) for name, values in pairs)
+        flat = cls(layout, np.empty(layout.total_size, dtype=np.float64))
+        for name, values in pairs:
+            np.copyto(dict.__getitem__(flat, name), values)
+        return flat
+
+    @classmethod
+    def from_state(cls, state: State) -> "FlatState":
+        """Pack an existing state mapping (key order preserved)."""
+        if isinstance(state, FlatState):
+            return FlatState(state.layout, state.vector.copy())
+        return cls.from_items(state.items())
+
+    # -- mutation guard rails ----------------------------------------------------
+    def __setitem__(self, name: str, value) -> None:
+        view = dict.get(self, name)
+        if view is None:
+            raise ValueError(
+                f"cannot add entry {name!r}: a FlatState's key set is frozen by its layout"
+            )
+        value = np.asarray(value)
+        if value.shape != view.shape:
+            raise ValueError(
+                f"cannot assign shape {value.shape} to entry {name!r} of shape {view.shape}"
+            )
+        np.copyto(view, value)
+
+    def update(self, other=(), **kwargs) -> None:  # type: ignore[override]
+        items = other.items() if isinstance(other, dict) else other
+        for name, value in items:
+            self[name] = value
+        for name, value in kwargs.items():
+            self[name] = value
+
+    def _frozen(self, *_args, **_kwargs):
+        raise ValueError("a FlatState's key set is frozen by its layout")
+
+    __delitem__ = _frozen
+    pop = _frozen
+    popitem = _frozen
+    clear = _frozen
+    setdefault = _frozen
+
+    # -- process-boundary hand-off ----------------------------------------------
+    def __reduce__(self):
+        # Ship the one contiguous buffer plus the tiny (name, shape) key —
+        # not a dict of per-tensor arrays.  The layout is re-interned on the
+        # receiving side, so all states of one architecture share it there
+        # too.
+        return (_restore_flat_state, (self.layout.entries, self.vector))
+
+
+def _restore_flat_state(entries: Tuple[LayoutEntry, ...], vector: np.ndarray) -> FlatState:
+    return FlatState(StateLayout.of(entries), vector)
+
+
+# -- conversion points -----------------------------------------------------------
+
+
+def as_flat_state(state: State) -> State:
+    """Wrap a plain state into a :class:`FlatState` (no-op when disabled)."""
+    if isinstance(state, FlatState) or not _FLAT_ENABLED:
+        return state
+    return FlatState.from_state(state)
+
+
+def flat_model_state(model) -> State:
+    """A model's ``state_dict`` packed straight into a flat buffer.
+
+    One copy from the parameters/buffers into the contiguous vector —
+    instead of ``state_dict()``'s per-tensor copies followed by a pack.
+    Value-identical to :meth:`repro.nn.Module.state_dict` (same names, same
+    order, same float64 values); falls back to it when the engine is off.
+    """
+    if not _FLAT_ENABLED:
+        return model.state_dict()
+    pairs = [(name, param.data) for name, param in model.named_parameters()]
+    pairs += [(name, np.asarray(buf)) for name, buf in model.named_buffers()]
+    return FlatState.from_items(pairs)
+
+
+def wrap_flat(layout: StateLayout, vector: np.ndarray) -> State:
+    """A state over ``vector``: a :class:`FlatState`, or views when disabled."""
+    if _FLAT_ENABLED:
+        return FlatState(layout, vector)
+    return layout.view_dict(vector)
+
+
+def state_vector(state: State, layout: Optional[StateLayout] = None) -> np.ndarray:
+    """``state``'s values as one float64 vector in ``layout`` order.
+
+    Zero-copy for a :class:`FlatState` already in that layout; a cached
+    gather for a flat state in a different entry order; a pack for plain
+    dicts.  Callers must treat the result as read-only.
+    """
+    if isinstance(state, FlatState):
+        if layout is None or layout is state.layout:
+            return state.vector
+        return state.vector[layout.gather_from(state.layout)]
+    if layout is None:
+        layout = StateLayout.from_state(state)
+    return layout.pack(state)
+
+
+def sorted_state_vector(state: State) -> Optional[np.ndarray]:
+    """The flat vector in sorted name order, or ``None`` for plain dicts.
+
+    The zero-copy fast path for the wire codecs: a codec-decoded
+    :class:`FlatState` is already in sorted order, so its buffer is returned
+    as-is (read-only).
+    """
+    if not isinstance(state, FlatState):
+        return None
+    perm = state.layout.sorted_permutation()
+    return state.vector if perm is None else state.vector[perm]
+
+
+def flat_pair(
+    state_a: State, state_b: State
+) -> Optional[Tuple[StateLayout, np.ndarray, np.ndarray]]:
+    """``(layout, vector_a, vector_b)`` when both states can run flat.
+
+    The vectors are aligned to ``state_a``'s layout; ``None`` when either
+    input is a plain dict (callers fall back to the per-name loop, which is
+    bit-identical).
+    """
+    if isinstance(state_a, FlatState) and isinstance(state_b, FlatState):
+        layout = state_a.layout
+        if state_b.layout is layout:
+            return layout, state_a.vector, state_b.vector
+        if layout.compatible_with(state_b.layout):
+            return layout, state_a.vector, state_b.vector[layout.gather_from(state_b.layout)]
+    return None
+
+
+# -- state arithmetic ------------------------------------------------------------
+
 
 def clone_state(state: State) -> State:
     """Deep-copy a state dictionary."""
+    if isinstance(state, FlatState):
+        return FlatState(state.layout, state.vector.copy())
     return {name: np.array(values, copy=True) for name, values in state.items()}
 
 
 def zeros_like_state(state: State) -> State:
     """A state with the same keys/shapes but all zeros."""
+    if isinstance(state, FlatState):
+        return FlatState(state.layout, np.zeros(state.layout.total_size, dtype=np.float64))
     return {name: np.zeros_like(values) for name, values in state.items()}
 
 
 def check_compatible(states: Sequence[State]) -> None:
-    """Validate that all states share keys and shapes."""
+    """Validate that all states share keys and shapes.
+
+    Validation runs once against the first state's frozen layout: flat
+    states sharing that (interned) layout pass with an identity check, and
+    plain dicts are compared through their ``keys()`` views instead of
+    rebuilding a ``set(state)`` per state per call.
+    """
     if not states:
         raise ValueError("no states provided")
     reference = states[0]
+    reference_layout = reference.layout if isinstance(reference, FlatState) else None
+    reference_keys = reference.keys()
     for index, state in enumerate(states[1:], start=1):
-        if set(state) != set(reference):
+        if (
+            reference_layout is not None
+            and isinstance(state, FlatState)
+            and reference_layout.compatible_with(state.layout)
+        ):
+            continue
+        if state.keys() != reference_keys:
             raise ValueError(f"state {index} has different keys than state 0")
         for name in reference:
             if state[name].shape != reference[name].shape:
@@ -43,14 +478,31 @@ def check_compatible(states: Sequence[State]) -> None:
                 )
 
 
-def weighted_average(states: Sequence[State], weights: Sequence[float]) -> State:
-    """Weighted average of states (weights are normalized internally).
+# The (K, P) aggregation matrix is reused across rounds: the server
+# aggregates the same cohort-size/model-size shape every round, and
+# re-touching a freshly allocated multi-megabyte buffer each call costs
+# more in page faults than the GEMV itself.  Bounded to a handful of
+# shapes (IFCA aggregates per cluster with varying K) and a size cap.
+_MATRIX_SCRATCH: Dict[Tuple[int, int], np.ndarray] = {}
+_MATRIX_SCRATCH_MAX_SHAPES = 8
+_MATRIX_SCRATCH_MAX_BYTES = 1 << 28  # 256 MiB
 
-    This is the server's parameter-aggregation step
-    ``W^{r+1} = sum_k (n_k / n) w_k^r`` from Figure 1 of the paper.
-    """
-    states = list(states)
-    weights = np.asarray(list(weights), dtype=np.float64)
+
+def _aggregation_matrix(rows: int, columns: int) -> np.ndarray:
+    """A reusable (rows, columns) float64 work matrix for weighted averaging."""
+    if rows * columns * 8 > _MATRIX_SCRATCH_MAX_BYTES:
+        return np.empty((rows, columns), dtype=np.float64)
+    key = (rows, columns)
+    matrix = _MATRIX_SCRATCH.get(key)
+    if matrix is None:
+        if len(_MATRIX_SCRATCH) >= _MATRIX_SCRATCH_MAX_SHAPES:
+            _MATRIX_SCRATCH.clear()
+        matrix = np.empty((rows, columns), dtype=np.float64)
+        _MATRIX_SCRATCH[key] = matrix
+    return matrix
+
+
+def _check_weights(states: List[State], weights: np.ndarray) -> np.ndarray:
     if len(states) != weights.size:
         raise ValueError(f"got {len(states)} states but {weights.size} weights")
     if np.any(weights < 0):
@@ -58,8 +510,19 @@ def weighted_average(states: Sequence[State], weights: Sequence[float]) -> State
     total = float(weights.sum())
     if total <= 0:
         raise ValueError("weights must not all be zero")
+    return weights / total
+
+
+def reference_weighted_average(states: Sequence[State], weights: Sequence[float]) -> State:
+    """The pre-refactor per-name stack/tensordot aggregation.
+
+    Kept as the parity/benchmark reference for :func:`weighted_average`
+    (also reachable through :func:`reference_mode`); may differ from the
+    flat GEMV at the last ulp.
+    """
+    states = list(states)
+    normalized = _check_weights(states, np.asarray(list(weights), dtype=np.float64))
     check_compatible(states)
-    normalized = weights / total
     result: State = {}
     for name in states[0]:
         stacked = np.stack([state[name] for state in states], axis=0)
@@ -67,11 +530,43 @@ def weighted_average(states: Sequence[State], weights: Sequence[float]) -> State
     return result
 
 
+def weighted_average(states: Sequence[State], weights: Sequence[float]) -> State:
+    """Weighted average of states (weights are normalized internally).
+
+    This is the server's parameter-aggregation step
+    ``W^{r+1} = sum_k (n_k / n) w_k^r`` from Figure 1 of the paper,
+    computed as one ``(K,) @ (K, P)`` GEMV over the flat buffers — BLAS
+    speed instead of a per-name Python loop.  Flat and plain-dict inputs
+    produce bit-identical results (both route through the same GEMV).
+    """
+    states = list(states)
+    if _REFERENCE:
+        return reference_weighted_average(states, weights)
+    normalized = _check_weights(states, np.asarray(list(weights), dtype=np.float64))
+    check_compatible(states)
+    first = states[0]
+    layout = first.layout if isinstance(first, FlatState) else StateLayout.from_state(first)
+    matrix = _aggregation_matrix(len(states), layout.total_size)
+    for row, state in enumerate(states):
+        if isinstance(state, FlatState):
+            if state.layout is layout:
+                matrix[row] = state.vector
+            else:
+                matrix[row] = state.vector[layout.gather_from(state.layout)]
+        else:
+            layout.pack(state, out=matrix[row])
+    return wrap_flat(layout, normalized @ matrix)
+
+
 def interpolate(state_a: State, state_b: State, weight_a: float) -> State:
     """``weight_a * state_a + (1 - weight_a) * state_b`` (alpha-portion sync)."""
     if not 0.0 <= weight_a <= 1.0:
         raise ValueError(f"weight_a must be in [0, 1], got {weight_a}")
     check_compatible([state_a, state_b])
+    pair = flat_pair(state_a, state_b)
+    if pair is not None:
+        layout, vector_a, vector_b = pair
+        return wrap_flat(layout, weight_a * vector_a + (1.0 - weight_a) * vector_b)
     return {
         name: weight_a * state_a[name] + (1.0 - weight_a) * state_b[name]
         for name in state_a
@@ -89,8 +584,12 @@ def merge_partition(global_state: State, local_state: State, local_names: Iterab
     if unknown:
         raise ValueError(f"local parameter names not present in state: {sorted(unknown)}")
     merged = clone_state(global_state)
-    for name in local_names:
-        merged[name] = np.array(local_state[name], copy=True)
+    if isinstance(merged, FlatState):
+        for name in local_names:
+            merged[name] = local_state[name]  # write-through into the buffer
+    else:
+        for name in local_names:
+            merged[name] = np.array(local_state[name], copy=True)
     return merged
 
 
@@ -100,6 +599,8 @@ def filter_state(state: State, names: Iterable[str]) -> State:
     missing = [name for name in names if name not in state]
     if missing:
         raise ValueError(f"state does not contain {missing}")
+    if isinstance(state, FlatState) and _FLAT_ENABLED:
+        return FlatState.from_items((name, state[name]) for name in names)
     return {name: np.array(state[name], copy=True) for name in names}
 
 
@@ -114,12 +615,20 @@ def state_distance(state_a: State, state_b: State) -> float:
 
 
 def state_norm(state: State) -> float:
-    """Euclidean norm of a state."""
+    """Euclidean norm of a state.
+
+    Deliberately accumulated per tensor (not over the whole flat vector) so
+    the value is bit-identical for flat and dict states — DP clipping
+    scales depend on it.
+    """
     return float(np.sqrt(sum(float(np.sum(values**2)) for values in state.values())))
 
 
 def flatten_state(state: State) -> np.ndarray:
     """Concatenate all entries into one vector (deterministic key order)."""
+    flat = sorted_state_vector(state)
+    if flat is not None:
+        return flat.copy() if flat is getattr(state, "vector", None) else flat
     return np.concatenate([np.asarray(state[name]).ravel() for name in sorted(state)])
 
 

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.fl.algorithms.base import FederatedAlgorithm, TrainingResult
 from repro.fl.client import FederatedClient
-from repro.fl.parameters import State
+from repro.fl.parameters import State, flat_model_state
 
 
 class IFCA(FederatedAlgorithm):
@@ -27,7 +27,7 @@ class IFCA(FederatedAlgorithm):
 
     def _initial_cluster_states(self) -> Dict[int, State]:
         return {
-            cluster_id: self.model_factory().state_dict()
+            cluster_id: flat_model_state(self.model_factory())
             for cluster_id in range(self.config.num_clusters)
         }
 

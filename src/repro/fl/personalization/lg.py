@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.fl.algorithms.base import FederatedAlgorithm, TrainingResult
-from repro.fl.parameters import State, clone_state, filter_state
+from repro.fl.parameters import State, clone_state, filter_state, flat_model_state
 
 
 class FedProxLG(FederatedAlgorithm):
@@ -31,7 +31,7 @@ class FedProxLG(FederatedAlgorithm):
         ]
         shared_names = list(global_names) + buffer_names
 
-        initial = reference_model.state_dict()
+        initial = flat_model_state(reference_model)
         global_part = filter_state(initial, shared_names)
         client_full_states: Dict[int, State] = {
             client.client_id: clone_state(initial) for client in self.clients

@@ -9,13 +9,18 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
+import numpy as np
+
 from repro.fl.parameters import (
+    FlatState,
     State,
     check_compatible,
     clone_state,
     filter_state,
     merge_partition,
+    state_vector,
     weighted_average,
+    wrap_flat,
 )
 
 
@@ -81,8 +86,13 @@ class FederatedServer:
         The leave-one-out averages are computed in O(K): the weighted sum
         over *all* clients is formed once and each client's own contribution
         is subtracted, instead of re-averaging the K-1 other states per
-        client.  Agrees with the per-client ``weighted_average`` loop to
-        floating-point accuracy (see the parity test).
+        client.  Flat states run the whole computation on their contiguous
+        buffers (one accumulation pass plus one fused expression per
+        client); the per-name dict loop is kept as the fallback and is
+        bit-identical — the flat path applies the same elementwise
+        operations in the same order.  Agrees with the per-client
+        ``weighted_average`` loop to floating-point accuracy (see the
+        parity test).
         """
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
@@ -96,6 +106,12 @@ class FederatedServer:
             raise ValueError("weights must be non-negative")
         total_weight = sum(weights.values())
         reference = client_states[client_ids[0]]
+        if isinstance(reference, FlatState) and all(
+            isinstance(client_states[cid], FlatState) for cid in client_ids
+        ):
+            return self._alpha_portion_sync_flat(
+                client_ids, client_states, weights, total_weight, alpha
+            )
         # One pass: sum_k n_k * w_k over every client, per parameter.
         weighted_sum: State = {
             name: sum(
@@ -117,6 +133,36 @@ class FederatedServer:
                 * ((weighted_sum[name] - weights[client_id] * own[name]) / remaining)
                 for name in own
             }
+        return result
+
+    def _alpha_portion_sync_flat(
+        self,
+        client_ids: Sequence[int],
+        client_states: Dict[int, State],
+        weights: Dict[int, float],
+        total_weight: float,
+        alpha: float,
+    ) -> Dict[int, State]:
+        """Alpha-portion sync over contiguous buffers (same math, one pass)."""
+        layout = client_states[client_ids[0]].layout
+        vectors = {cid: state_vector(client_states[cid], layout) for cid in client_ids}
+        # Accumulate sequentially in client order — the same addition order
+        # as the dict path's ``sum(...)`` per name, so results stay
+        # bit-identical.
+        weighted_sum = np.zeros(layout.total_size, dtype=np.float64)
+        for cid in client_ids:
+            weighted_sum += weights[cid] * vectors[cid]
+        result: Dict[int, State] = {}
+        for client_id in client_ids:
+            own = vectors[client_id]
+            remaining = total_weight - weights[client_id]
+            if remaining <= 0:
+                result[client_id] = clone_state(client_states[client_id])
+                continue
+            mixed = alpha * own + (1.0 - alpha) * (
+                (weighted_sum - weights[client_id] * own) / remaining
+            )
+            result[client_id] = wrap_flat(layout, mixed)
         return result
 
     def partition_merge(self, global_state: State, local_state: State, local_names: Iterable[str]) -> State:

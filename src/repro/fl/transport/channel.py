@@ -39,6 +39,13 @@ return trip is compressed too; with error feedback, workers return raw
 states and the channel encodes in the coordinating process (the residual
 lives there).  Both paths apply identical float operations, so serial and
 process execution stay bit-identical under every codec.
+
+Every state the channel touches is backed by the flat-buffer engine of
+:mod:`repro.fl.parameters`: codec decodes hand back
+:class:`~repro.fl.parameters.FlatState` views over one contiguous vector,
+so delta encoding, error-feedback residual folds, and reference updates are
+single whole-model vector operations rather than per-name dict loops (and
+bit-identical to them).
 """
 
 from __future__ import annotations

@@ -32,6 +32,16 @@ way a real protocol would negotiate it once per session.
 
 All codecs are deterministic (same state → same bytes), stateless, and
 cheap to pickle, so payloads and codecs can cross process boundaries.
+
+Flat-buffer fast paths
+----------------------
+A :class:`~repro.fl.parameters.FlatState` flattens to the wire's sorted
+name order without a per-tensor concatenation loop (zero-copy when the
+layout already is sorted — the case for every codec-decoded state), and
+every ``decode`` builds its result directly over one contiguous buffer
+(:func:`repro.fl.parameters.wrap_flat`) instead of materializing per-name
+copies.  The produced bytes and decoded values are bit-identical to the
+per-tensor dict path, which remains the fallback for plain dict states.
 """
 
 from __future__ import annotations
@@ -43,7 +53,13 @@ from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
-from repro.fl.parameters import State
+from repro.fl.parameters import (
+    FlatState,
+    State,
+    StateLayout,
+    sorted_state_vector,
+    wrap_flat,
+)
 
 #: Static per-tensor schema entry: (name, shape).
 TensorSpec = Tuple[str, Tuple[int, ...]]
@@ -70,31 +86,47 @@ class Payload:
 
 def state_schema(state: State) -> Tuple[TensorSpec, ...]:
     """The static (name, shape) layout of a state, in sorted name order."""
+    if isinstance(state, FlatState):
+        return state.layout.sorted_schema()
     return tuple((name, tuple(np.asarray(state[name]).shape)) for name in sorted(state))
 
 
 def _flatten_sorted(state: State) -> np.ndarray:
-    """Concatenate all tensors into one float64 vector in sorted name order."""
+    """All tensors as one float64 vector in sorted name order.
+
+    Zero-copy for a flat state whose layout is already sorted (callers must
+    treat the result as read-only); one concatenation pass otherwise.
+    """
+    flat = sorted_state_vector(state)
+    if flat is not None:
+        return flat
     return np.concatenate(
         [np.asarray(state[name], dtype=np.float64).ravel() for name in sorted(state)]
     )
 
 
-def _split_by_schema(flat: np.ndarray, schema: Tuple[TensorSpec, ...]) -> State:
-    """Invert :func:`_flatten_sorted` using the static schema."""
-    state: State = {}
-    offset = 0
-    for name, shape in schema:
-        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
-        state[name] = flat[offset : offset + size].reshape(shape).copy()
-        offset += size
-    return state
+def _schema_sizes(schema: Tuple[TensorSpec, ...]) -> List[int]:
+    """Per-tensor value counts of a schema."""
+    return [int(np.prod(shape, dtype=np.int64)) if shape else 1 for _, shape in schema]
+
+
+def _state_from_flat(flat: np.ndarray, schema: Tuple[TensorSpec, ...]) -> State:
+    """A decoded state over one owned float64 buffer (zero-copy views)."""
+    return wrap_flat(StateLayout.of(schema), flat)
 
 
 def _pack_codes(codes: np.ndarray, num_bits: int) -> bytes:
-    """Pack non-negative integer codes (< 2**num_bits) at num_bits per value."""
+    """Pack non-negative integer codes (< 2**num_bits) at num_bits per value.
+
+    Byte-aligned widths take the direct big-endian cast (bit-identical to
+    the generic MSB-first bit packing, orders of magnitude cheaper).
+    """
     if codes.size == 0:
         return b""
+    if num_bits == 8:
+        return codes.astype(np.uint8).tobytes()
+    if num_bits == 16:
+        return codes.astype(">u2").tobytes()
     values = codes.astype(np.int64)
     shifts = np.arange(num_bits - 1, -1, -1, dtype=np.int64)
     bits = ((values[:, None] >> shifts) & 1).astype(np.uint8)
@@ -105,6 +137,10 @@ def _unpack_codes(data: bytes, num_bits: int, count: int) -> np.ndarray:
     """Invert :func:`_pack_codes`; returns int64 codes of length ``count``."""
     if count == 0:
         return np.zeros(0, dtype=np.int64)
+    if num_bits == 8:
+        return np.frombuffer(data, dtype=np.uint8, count=count).astype(np.int64)
+    if num_bits == 16:
+        return np.frombuffer(data, dtype=">u2", count=count).astype(np.int64)
     bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))[: count * num_bits]
     weights = np.left_shift(1, np.arange(num_bits - 1, -1, -1, dtype=np.int64))
     return bits.reshape(count, num_bits).astype(np.int64) @ weights
@@ -118,16 +154,33 @@ def packed_code_bytes(count: int, num_bits: int) -> int:
 def topk_flat_indices(flat: np.ndarray, keep: int) -> np.ndarray:
     """The flat indices of the ``keep`` largest-magnitude entries, exactly.
 
-    Selection is deterministic: a stable sort on descending magnitude breaks
-    ties in favor of the lower flat index, so exactly ``keep`` entries
-    survive regardless of duplicated magnitudes.  Returned indices are
-    sorted ascending (the wire order).
+    Selection is deterministic and breaks magnitude ties in favor of the
+    lower flat index, so exactly ``keep`` entries survive regardless of
+    duplicated magnitudes — the same set a stable sort on descending
+    magnitude selects.  Implemented with ``argpartition`` plus explicit
+    tie handling at the threshold magnitude (O(P + k log k), not the full
+    O(P log P) sort).  Returned indices are sorted ascending (the wire
+    order).
     """
     keep = int(keep)
     if keep >= flat.size:
         return np.arange(flat.size, dtype=np.int64)
-    order = np.argsort(-np.abs(flat), kind="stable")
-    return np.sort(order[:keep]).astype(np.int64)
+    magnitude = np.abs(flat)
+    if np.isnan(magnitude).any():
+        # NaNs poison the partition threshold (min of a set containing NaN
+        # is NaN, every comparison against it is False).  The stable sort
+        # ranks NaNs last, i.e. keeps the top-k finite entries — preserve
+        # that behavior on this cold path.
+        order = np.argsort(-magnitude, kind="stable")
+        return np.sort(order[:keep]).astype(np.int64)
+    # The k-th largest magnitude is the selection threshold; everything
+    # strictly above it survives, and ties exactly at it are admitted in
+    # ascending index order (``flatnonzero`` returns ascending indices).
+    partition = np.argpartition(magnitude, flat.size - keep)[flat.size - keep :]
+    threshold = magnitude[partition].min()
+    above = np.flatnonzero(magnitude > threshold)
+    at_threshold = np.flatnonzero(magnitude == threshold)[: keep - above.size]
+    return np.sort(np.concatenate([above, at_threshold])).astype(np.int64)
 
 
 class Codec:
@@ -185,6 +238,12 @@ class IdentityCodec(Codec):
         return f"identity-{self.dtype.name}"
 
     def encode(self, state: State) -> Payload:
+        flat = sorted_state_vector(state)
+        if flat is not None:
+            # One cast over the contiguous buffer; the bytes equal the
+            # per-tensor concatenation below (same values, same order).
+            data = flat.tobytes() if self.dtype == np.dtype("float64") else flat.astype(self.dtype).tobytes()
+            return Payload(codec=self.name, data=data, schema=state_schema(state))
         chunks: List[bytes] = []
         for name in sorted(state):
             array = np.ascontiguousarray(np.asarray(state[name], dtype=self.dtype))
@@ -193,15 +252,9 @@ class IdentityCodec(Codec):
 
     def decode(self, payload: Payload) -> State:
         self._check_payload(payload)
-        itemsize = self.dtype.itemsize
-        state: State = {}
-        offset = 0
-        for name, shape in payload.schema:
-            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
-            raw = np.frombuffer(payload.data, dtype=self.dtype, count=size, offset=offset)
-            state[name] = raw.reshape(shape).astype(np.float64)
-            offset += size * itemsize
-        return state
+        total = sum(_schema_sizes(payload.schema))
+        raw = np.frombuffer(payload.data, dtype=self.dtype, count=total)
+        return _state_from_flat(raw.astype(np.float64), payload.schema)
 
 
 class QuantizationCodec(Codec):
@@ -234,42 +287,58 @@ class QuantizationCodec(Codec):
         return f"quantize-{self.num_bits}b{suffix}"
 
     def encode(self, state: State) -> Payload:
+        schema = state_schema(state)
+        flat = _flatten_sorted(state)
+        sizes = np.asarray(_schema_sizes(schema), dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        # Per-tensor scales in one reduction pass each (min/max are exact,
+        # so the segment reductions match per-array ``.min()``/``.max()``),
+        # then every tensor's codes in one fused elementwise pass over the
+        # whole buffer.
+        lows = np.minimum.reduceat(flat, offsets)
+        highs = np.maximum.reduceat(flat, offsets)
+        spans = highs - lows
+        span_per_value = np.repeat(spans, sizes)
+        low_per_value = np.repeat(lows, sizes)
+        nonzero = span_per_value != 0.0
+        codes = np.zeros(flat.size, dtype=np.float64)
+        codes[nonzero] = np.round(
+            (flat[nonzero] - low_per_value[nonzero]) / span_per_value[nonzero] * self.levels
+        )
         sections: List[bytes] = []
-        for name in sorted(state):
-            array = np.asarray(state[name], dtype=np.float64)
-            low = float(array.min())
-            high = float(array.max())
-            sections.append(struct.pack("<dd", low, high))
-            span = high - low
-            if span == 0.0:
+        for index in range(len(schema)):
+            sections.append(struct.pack("<dd", float(lows[index]), float(highs[index])))
+            if spans[index] == 0.0:
                 continue
-            codes = np.round((array - low) / span * self.levels)
-            sections.append(_pack_codes(codes.ravel(), self.num_bits))
+            start = int(offsets[index])
+            sections.append(_pack_codes(codes[start : start + int(sizes[index])], self.num_bits))
         data = b"".join(sections)
         if self.deflate:
             data = zlib.compress(data, 6)
-        return Payload(codec=self.name, data=data, schema=state_schema(state))
+        return Payload(codec=self.name, data=data, schema=schema)
 
     def decode(self, payload: Payload) -> State:
         self._check_payload(payload)
         data = zlib.decompress(payload.data) if self.deflate else payload.data
         levels = self.levels
-        state: State = {}
+        sizes = _schema_sizes(payload.schema)
+        flat = np.empty(sum(sizes), dtype=np.float64)
         offset = 0
-        for name, shape in payload.schema:
-            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        position = 0
+        for size in sizes:
             low, high = struct.unpack_from("<dd", data, offset)
             offset += 16
             span = high - low
+            segment = flat[position : position + size]
+            position += size
             if span == 0.0:
-                state[name] = np.full(shape, low, dtype=np.float64)
+                segment[:] = low
                 continue
             nbytes = packed_code_bytes(size, self.num_bits)
             codes = _unpack_codes(data[offset : offset + nbytes], self.num_bits, size)
             offset += nbytes
-            values = low + codes.astype(np.float64) / levels * span
-            state[name] = values.reshape(shape)
-        return state
+            segment[:] = low + codes.astype(np.float64) / levels * span
+        return _state_from_flat(flat, payload.schema)
 
 
 class TopKCodec(Codec):
@@ -330,12 +399,10 @@ class TopKCodec(Codec):
         values = np.frombuffer(
             data, dtype=self.value_dtype, count=count, offset=4 + 4 * count
         ).astype(np.float64)
-        total = sum(
-            int(np.prod(shape, dtype=np.int64)) if shape else 1 for _, shape in payload.schema
-        )
+        total = sum(_schema_sizes(payload.schema))
         flat = np.zeros(total, dtype=np.float64)
         flat[indices] = values
-        return _split_by_schema(flat, payload.schema)
+        return _state_from_flat(flat, payload.schema)
 
 
 #: Registry of wire codecs, keyed by their registry name.

@@ -4,10 +4,17 @@ The implementation follows the classic im2col / col2im formulation: a
 convolution is lowered to one large matrix multiplication per batch, which is
 the only way to get acceptable throughput out of NumPy.  All functions work on
 ``NCHW`` tensors and support stride, symmetric zero padding, and dilation.
+
+The im2col/col2im gather indices depend only on the layer geometry and the
+input spatial shape — both fixed across a training run — so they are built
+once and memoized (:func:`_im2col_indices`, :func:`_col2im_flat_index`)
+instead of being recomputed on every forward/backward call.  Cached arrays
+are marked read-only; they are only ever used as gather/scatter indices.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Tuple
 
 import numpy as np
@@ -38,6 +45,7 @@ def conv_transpose_output_size(
     return out
 
 
+@lru_cache(maxsize=256)
 def _im2col_indices(
     channels: int,
     kernel_h: int,
@@ -47,7 +55,14 @@ def _im2col_indices(
     stride: int,
     dilation: int,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Index arrays mapping (channel*kh*kw, out_h*out_w) patch entries to the padded input."""
+    """Index arrays mapping (channel*kh*kw, out_h*out_w) patch entries to the padded input.
+
+    Memoized on the full geometry key (the output spatial shape stands in
+    for the input shape, which determines it): a training run hits the same
+    few keys on every forward/backward call, so the index construction runs
+    once per distinct layer/input-shape pair.  The cached arrays are
+    read-only.
+    """
     i0 = np.repeat(np.arange(kernel_h) * dilation, kernel_w)
     i0 = np.tile(i0, channels)
     i1 = stride * np.repeat(np.arange(out_h), out_w)
@@ -56,7 +71,28 @@ def _im2col_indices(
     i = i0.reshape(-1, 1) + i1.reshape(1, -1)
     j = j0.reshape(-1, 1) + j1.reshape(1, -1)
     k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    for index in (k, i, j):
+        index.setflags(write=False)
     return k, i, j
+
+
+@lru_cache(maxsize=256)
+def _col2im_flat_index(
+    channels: int,
+    kernel_h: int,
+    kernel_w: int,
+    out_h: int,
+    out_w: int,
+    stride: int,
+    dilation: int,
+    h_padded: int,
+    w_padded: int,
+) -> np.ndarray:
+    """Flattened per-image scatter indices used by :func:`col2im` (memoized)."""
+    k, i, j = _im2col_indices(channels, kernel_h, kernel_w, out_h, out_w, stride, dilation)
+    base_index = (k * h_padded + i) * w_padded + j  # (c*kh*kw, out_h*out_w)
+    base_index.setflags(write=False)
+    return base_index
 
 
 def im2col(
@@ -110,11 +146,12 @@ def col2im(
     if cols.shape != expected:
         raise ValueError(f"col2im expected columns of shape {expected}, got {cols.shape}")
     h_padded, w_padded = h + 2 * padding, w + 2 * padding
-    k, i, j = _im2col_indices(c, kernel_h, kernel_w, out_h, out_w, stride, dilation)
     # Scatter-add via bincount over flattened indices: orders of magnitude
     # faster than np.add.at for the large index arrays convolutions produce.
     per_image = c * h_padded * w_padded
-    base_index = (k * h_padded + i) * w_padded + j  # (c*kh*kw, out_h*out_w)
+    base_index = _col2im_flat_index(
+        c, kernel_h, kernel_w, out_h, out_w, stride, dilation, h_padded, w_padded
+    )
     offsets = np.arange(n) * per_image
     flat_index = (offsets[:, None, None] + base_index[None, :, :]).ravel()
     flat = np.bincount(flat_index, weights=cols.ravel(), minlength=n * per_image)

@@ -32,6 +32,12 @@ class Conv2d(Module):
     The forward pass lowers the convolution to a batched matrix multiplication
     via im2col; the backward pass computes input, weight, and bias gradients
     and returns the input gradient.
+
+    The im2col/col2im gather indices are memoized keyed by the layer
+    geometry and input spatial shape (see
+    :func:`repro.nn.functional._im2col_indices`), so repeated
+    forward/backward calls — every training step — reuse them instead of
+    rebuilding the index arrays.
     """
 
     def __init__(
@@ -126,7 +132,8 @@ class ConvTranspose2d(Module):
     following the PyTorch convention.  The forward pass is implemented as the
     adjoint of :class:`Conv2d` via col2im, which makes the layer exactly the
     upsampling operator used by encoder/decoder routability models such as
-    RouteNet.
+    RouteNet.  As with :class:`Conv2d`, the col2im/im2col gather indices are
+    memoized per layer geometry and input spatial shape.
     """
 
     def __init__(

@@ -1,0 +1,502 @@
+"""Tests for the flat-buffer parameter engine.
+
+The guarantees under test:
+
+* layout/flat-state round trips are exact and zero-copy,
+* the GEMV ``weighted_average`` matches the pre-refactor stack/tensordot
+  reference to 1e-12 and is **bit-identical** for flat vs. dict inputs,
+* every elementwise flat op (interpolate, deltas, noise, clipping,
+  alpha-portion sync, momentum, FedBuff folds) is bit-identical to the
+  per-name dict loop,
+* all wire codecs produce bit-identical payload bytes for flat and dict
+  states,
+* the four checkpointable algorithms are bit-identical between the flat
+  path and the plain-dict path, on both backends, under every codec,
+* checkpoints written by the pre-refactor dict path resume onto the flat
+  engine bit-identically.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.fl import (
+    CheckpointManager,
+    FederatedClient,
+    FederatedServer,
+    FLConfig,
+    FlatState,
+    ProcessPoolBackend,
+    SeededModelFactory,
+    SerialBackend,
+    StateLayout,
+    create_algorithm,
+    create_channel,
+)
+from repro.fl import parameters as P
+from repro.fl.parameters import (
+    as_flat_state,
+    clone_state,
+    flat_states_disabled,
+    interpolate,
+    reference_mode,
+    reference_weighted_average,
+    state_vector,
+    weighted_average,
+    zeros_like_state,
+)
+from repro.fl.privacy import (
+    PrivacyConfig,
+    add_gaussian_noise,
+    apply_update,
+    clip_update,
+    privatize_update,
+    state_update,
+)
+from repro.fl.transport.codecs import IdentityCodec, QuantizationCodec, TopKCodec
+from repro.models import FLNet
+
+SHAPES = (("conv.weight", (4, 2, 3, 3)), ("conv.bias", (4,)), ("head.weight", (1, 4)), ("alpha", ()))
+
+
+def random_state(seed: int, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    return {name: rng.normal(size=shape).astype(dtype) for name, shape in SHAPES}
+
+
+def states_equal(left, right) -> bool:
+    return set(left) == set(right) and all(np.array_equal(left[k], right[k]) for k in left)
+
+
+class TestStateLayout:
+    def test_interned_per_entry_sequence(self):
+        state = random_state(0)
+        assert StateLayout.from_state(state) is StateLayout.from_state(random_state(1))
+
+    def test_offsets_and_sizes(self):
+        layout = StateLayout.from_state(random_state(0))
+        assert layout.total_size == sum(
+            int(np.prod(shape)) if shape else 1 for _, shape in SHAPES
+        )
+        assert layout.offsets[0] == 0
+        assert layout.names == tuple(name for name, _ in SHAPES)
+
+    def test_sorted_permutation_roundtrip(self):
+        state = random_state(3)
+        flat = FlatState.from_state(state)
+        perm = flat.layout.sorted_permutation()
+        expected = np.concatenate([state[name].ravel() for name in sorted(state)])
+        got = flat.vector if perm is None else flat.vector[perm]
+        np.testing.assert_array_equal(got, expected)
+
+    def test_gather_between_orders(self):
+        state = random_state(4)
+        forward = FlatState.from_state(state)
+        reversed_state = FlatState.from_items(list(state.items())[::-1])
+        perm = forward.layout.gather_from(reversed_state.layout)
+        np.testing.assert_array_equal(reversed_state.vector[perm], forward.vector)
+
+    def test_incompatible_gather_rejected(self):
+        a = StateLayout.of([("w", (2, 2))])
+        b = StateLayout.of([("w", (4,))])
+        with pytest.raises(ValueError, match="different names/shapes"):
+            a.gather_from(b)
+
+
+class TestFlatState:
+    def test_roundtrip_exact_and_order_preserving(self):
+        state = random_state(0)
+        flat = FlatState.from_state(state)
+        assert list(flat) == list(state)
+        assert states_equal(flat, state)
+        # float32 inputs are packed at the pipeline's float64.
+        flat32 = FlatState.from_state(random_state(1, dtype=np.float32))
+        assert flat32.vector.dtype == np.float64
+
+    def test_values_are_views_into_the_buffer(self):
+        flat = FlatState.from_state(random_state(0))
+        for name in flat:
+            assert flat[name].base is flat.vector or flat[name] is flat.vector
+
+    def test_setitem_writes_through(self):
+        flat = FlatState.from_state(random_state(0))
+        flat["conv.bias"] = np.array([9.0, 8.0, 7.0, 6.0])
+        offset = flat.layout.offsets[1]
+        np.testing.assert_array_equal(flat.vector[offset : offset + 4], [9.0, 8.0, 7.0, 6.0])
+
+    def test_frozen_key_set(self):
+        flat = FlatState.from_state(random_state(0))
+        with pytest.raises(ValueError, match="frozen"):
+            flat["new"] = np.zeros(3)
+        with pytest.raises(ValueError):
+            flat.pop("conv.bias")
+        with pytest.raises(ValueError, match="shape"):
+            flat["conv.bias"] = np.zeros(5)
+
+    def test_pickle_ships_one_buffer_and_reinterns_layout(self):
+        flat = FlatState.from_state(random_state(0))
+        blob = pickle.dumps(flat)
+        # The payload must not contain one pickled ndarray per tensor.
+        assert blob.count(b"numpy.core.multiarray") + blob.count(b"numpy._core.multiarray") <= 2
+        restored = pickle.loads(blob)
+        assert restored.layout is flat.layout
+        assert states_equal(restored, flat)
+
+    def test_clone_and_zeros(self):
+        flat = FlatState.from_state(random_state(0))
+        cloned = clone_state(flat)
+        cloned["conv.bias"] = np.zeros(4)
+        assert not np.array_equal(cloned["conv.bias"], flat["conv.bias"])
+        zeros = zeros_like_state(flat)
+        assert isinstance(zeros, FlatState) and zeros.vector.sum() == 0.0
+
+
+class TestWeightedAverageGEMV:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("count", [1, 2, 8])
+    def test_matches_reference_loop(self, count, dtype):
+        states = [random_state(seed, dtype) for seed in range(count)]
+        weights = np.random.default_rng(count).random(count) + 0.1
+        reference = reference_weighted_average(states, weights)
+        flat = weighted_average([FlatState.from_state(s) for s in states], weights)
+        for name in reference:
+            np.testing.assert_allclose(flat[name], reference[name], rtol=0, atol=1e-12)
+
+    def test_flat_and_dict_inputs_bit_identical(self):
+        states = [random_state(seed) for seed in range(6)]
+        weights = [3.0, 1.0, 2.0, 5.0, 0.5, 1.5]
+        from_dicts = weighted_average(states, weights)
+        from_flats = weighted_average([FlatState.from_state(s) for s in states], weights)
+        assert states_equal(from_dicts, from_flats)
+
+    def test_mixed_layout_orders_bit_identical(self):
+        states = [random_state(seed) for seed in range(4)]
+        weights = [1.0, 2.0, 3.0, 4.0]
+        flats = [FlatState.from_state(s) for s in states]
+        mixed = [flats[0], FlatState.from_items(list(states[1].items())[::-1])] + flats[2:]
+        assert states_equal(weighted_average(flats, weights), weighted_average(mixed, weights))
+
+    def test_reference_mode_routes_to_old_loop(self):
+        states = [random_state(seed) for seed in range(3)]
+        weights = [1.0, 2.0, 3.0]
+        with reference_mode():
+            via_mode = weighted_average(states, weights)
+        assert states_equal(via_mode, reference_weighted_average(states, weights))
+
+    def test_result_is_plain_dict_when_engine_disabled(self):
+        states = [random_state(seed) for seed in range(3)]
+        flat_result = weighted_average(states, [1.0, 1.0, 1.0])
+        with flat_states_disabled():
+            dict_result = weighted_average(states, [1.0, 1.0, 1.0])
+        assert not isinstance(dict_result, FlatState)
+        assert states_equal(dict_result, flat_result)
+
+
+class TestElementwiseBitParity:
+    """Flat vector ops must equal the per-name dict loops bit for bit."""
+
+    def setup_method(self):
+        self.a = random_state(10)
+        self.b = random_state(11)
+        self.fa = FlatState.from_state(self.a)
+        self.fb = FlatState.from_state(self.b)
+
+    def test_interpolate(self):
+        assert states_equal(interpolate(self.a, self.b, 0.3), interpolate(self.fa, self.fb, 0.3))
+
+    def test_state_update_and_apply(self):
+        assert states_equal(state_update(self.a, self.b), state_update(self.fa, self.fb))
+        assert states_equal(apply_update(self.a, self.b), apply_update(self.fa, self.fb))
+
+    def test_clip_update(self):
+        clipped_dict, norm_dict = clip_update(self.a, 0.5)
+        clipped_flat, norm_flat = clip_update(self.fa, 0.5)
+        assert norm_dict == norm_flat
+        assert states_equal(clipped_dict, clipped_flat)
+
+    def test_noise_draws_identical_stream(self):
+        rng_dict = np.random.default_rng(7)
+        rng_flat = np.random.default_rng(7)
+        noisy_dict = add_gaussian_noise(self.a, 0.25, rng_dict)
+        noisy_flat = add_gaussian_noise(self.fa, 0.25, rng_flat)
+        assert states_equal(noisy_dict, noisy_flat)
+        assert rng_dict.bit_generator.state == rng_flat.bit_generator.state
+
+    def test_privatize_update(self):
+        config = PrivacyConfig(clip_norm=0.4, noise_multiplier=0.3)
+        got_dict, norm_dict = privatize_update(self.a, self.b, config, np.random.default_rng(3))
+        got_flat, norm_flat = privatize_update(self.fa, self.fb, config, np.random.default_rng(3))
+        assert norm_dict == norm_flat
+        assert states_equal(got_dict, got_flat)
+
+    def test_alpha_portion_sync(self):
+        server = FederatedServer()
+        ids = [1, 2, 3, 4]
+        dict_states = {cid: random_state(cid) for cid in ids}
+        flat_states = {cid: FlatState.from_state(dict_states[cid]) for cid in ids}
+        weights = {1: 2.0, 2: 1.0, 3: 4.0, 4: 0.5}
+        for alpha in (0.0, 0.4, 1.0):
+            mixed_dict = server.alpha_portion_sync(dict_states, weights, alpha)
+            mixed_flat = server.alpha_portion_sync(flat_states, weights, alpha)
+            for cid in ids:
+                assert states_equal(mixed_dict[cid], mixed_flat[cid])
+
+
+class TestCodecFlatParity:
+    """Each codec must produce identical bytes for flat and dict states."""
+
+    CODECS = [
+        IdentityCodec("float64"),
+        IdentityCodec("float32"),
+        IdentityCodec("float16"),
+        QuantizationCodec(num_bits=8, deflate=False),
+        QuantizationCodec(num_bits=8, deflate=True),
+        QuantizationCodec(num_bits=5, deflate=False),
+        QuantizationCodec(num_bits=16, deflate=False),
+        TopKCodec(keep_fraction=0.25),
+    ]
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.describe())
+    def test_payload_bytes_identical(self, codec):
+        state = random_state(21)
+        flat = FlatState.from_state(state)
+        payload_dict = codec.encode(state)
+        payload_flat = codec.encode(flat)
+        assert payload_dict.data == payload_flat.data
+        assert payload_dict.schema == payload_flat.schema
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.describe())
+    def test_decode_returns_flat_views(self, codec):
+        state = random_state(22)
+        decoded = codec.decode(codec.encode(state))
+        assert isinstance(decoded, FlatState)
+        # Sorted wire order: the decoded layout is already in sorted order.
+        assert decoded.layout.sorted_permutation() is None
+        # Round-trip values agree with a dict-path decode under the
+        # disabled engine (value parity of the two representations).
+        with flat_states_disabled():
+            plain = codec.decode(codec.encode(state))
+        assert not isinstance(plain, FlatState)
+        assert states_equal(decoded, plain)
+
+
+TINY_CONFIG = FLConfig(
+    rounds=2,
+    local_steps=2,
+    finetune_steps=2,
+    learning_rate=3e-3,
+    batch_size=2,
+    num_clusters=2,
+    assigned_clusters=((1, 0), (2, 1)),
+    ifca_eval_batches=1,
+    proximal_mu=1e-3,
+)
+
+
+class TinyModelBuilder:
+    def __init__(self, channels: int):
+        self.channels = channels
+
+    def __call__(self, seed: int) -> FLNet:
+        return FLNet(self.channels, hidden_filters=8, kernel_size=5, seed=seed)
+
+
+def make_factory(num_channels: int) -> SeededModelFactory:
+    return SeededModelFactory(TinyModelBuilder(num_channels), base_seed=0)
+
+
+@pytest.fixture
+def make_clients(tiny_train_dataset, tiny_test_dataset, tiny_train_dataset_itc, tiny_test_dataset_itc, num_channels):
+    def build(config: FLConfig = TINY_CONFIG):
+        factory = make_factory(num_channels)
+        return [
+            FederatedClient(1, tiny_train_dataset, tiny_test_dataset, factory, config),
+            FederatedClient(2, tiny_train_dataset_itc, tiny_test_dataset_itc, factory, config),
+        ]
+
+    return build
+
+
+def run_algorithm(name, make_clients, num_channels, backend=None, channel=None, checkpoint=None, config=TINY_CONFIG):
+    algorithm = create_algorithm(
+        name,
+        make_clients(config),
+        make_factory(num_channels),
+        config,
+        backend=backend,
+        channel=channel,
+        checkpoint=checkpoint,
+    )
+    try:
+        return algorithm.run()
+    finally:
+        if backend is not None:
+            backend.close()
+
+
+def results_bit_identical(left, right) -> bool:
+    if (left.global_state is None) != (right.global_state is None):
+        return False
+    if left.global_state is not None and not states_equal(left.global_state, right.global_state):
+        return False
+    if [r.mean_loss for r in left.history] != [r.mean_loss for r in right.history]:
+        return False
+    if set(left.client_states) != set(right.client_states):
+        return False
+    return all(
+        states_equal(left.client_states[cid], right.client_states[cid])
+        for cid in left.client_states
+    )
+
+
+ALGORITHMS = ["fedavg", "fedprox", "fedavgm", "dp_fedprox"]
+COMPRESSIONS = [None, "none", "float16", "quantize", "topk"]
+
+
+class TestFlatVsDictPathBitIdentity:
+    """The flat engine and the plain-dict representation must agree bit for
+    bit on every checkpointable algorithm, backend, and codec."""
+
+    @pytest.mark.parametrize("compression", COMPRESSIONS, ids=lambda c: str(c))
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_serial(self, algorithm, compression, make_clients, num_channels):
+        flat = run_algorithm(
+            algorithm, make_clients, num_channels, channel=create_channel(compression)
+        )
+        assert isinstance(flat.global_state, FlatState)
+        with flat_states_disabled():
+            plain = run_algorithm(
+                algorithm, make_clients, num_channels, channel=create_channel(compression)
+            )
+        assert not isinstance(plain.global_state, FlatState)
+        assert results_bit_identical(flat, plain)
+
+    @pytest.mark.parametrize("compression", [None, "quantize", "topk"], ids=lambda c: str(c))
+    def test_process_backend(self, compression, make_clients, num_channels):
+        flat = run_algorithm(
+            "fedavg",
+            make_clients,
+            num_channels,
+            backend=ProcessPoolBackend(workers=2),
+            channel=create_channel(compression),
+        )
+        with flat_states_disabled():
+            plain = run_algorithm(
+                "fedavg",
+                make_clients,
+                num_channels,
+                backend=ProcessPoolBackend(workers=2),
+                channel=create_channel(compression),
+            )
+        assert results_bit_identical(flat, plain)
+
+
+class TestCheckpointCompatibility:
+    def test_resume_from_pre_refactor_checkpoint(self, tmp_path, make_clients, num_channels):
+        """A checkpoint written by the plain-dict path (the pre-refactor
+        on-disk format: one per-tensor .npz archive) must resume onto the
+        flat engine bit-identically to an uninterrupted dict-path run."""
+        from dataclasses import replace
+
+        long_config = replace(TINY_CONFIG, rounds=4)
+        short_config = replace(TINY_CONFIG, rounds=2)
+
+        with flat_states_disabled():
+            uninterrupted = run_algorithm(
+                "fedavg", make_clients, num_channels, config=long_config
+            )
+            run_algorithm(
+                "fedavg",
+                make_clients,
+                num_channels,
+                config=short_config,
+                checkpoint=CheckpointManager(tmp_path),
+            )
+
+        resumed = run_algorithm(
+            "fedavg",
+            make_clients,
+            num_channels,
+            config=long_config,
+            checkpoint=CheckpointManager(tmp_path),
+        )
+        assert isinstance(resumed.global_state, FlatState)
+        assert states_equal(uninterrupted.global_state, resumed.global_state)
+
+    def test_fedavgm_velocity_resumes_flat(self, tmp_path, make_clients, num_channels):
+        from dataclasses import replace
+
+        long_config = replace(TINY_CONFIG, rounds=3)
+        short_config = replace(TINY_CONFIG, rounds=1)
+        uninterrupted = run_algorithm(
+            "fedavgm", make_clients, num_channels, config=long_config
+        )
+        run_algorithm(
+            "fedavgm",
+            make_clients,
+            num_channels,
+            config=short_config,
+            checkpoint=CheckpointManager(tmp_path),
+        )
+        resumed = run_algorithm(
+            "fedavgm",
+            make_clients,
+            num_channels,
+            config=long_config,
+            checkpoint=CheckpointManager(tmp_path),
+        )
+        assert states_equal(uninterrupted.global_state, resumed.global_state)
+
+
+class TestTopKSelection:
+    def test_argpartition_matches_stable_sort(self):
+        from repro.fl.transport.codecs import topk_flat_indices
+
+        rng = np.random.default_rng(0)
+        for trial in range(100):
+            size = int(rng.integers(1, 300))
+            if trial % 2:
+                flat = rng.normal(size=size)
+            else:
+                flat = rng.integers(-3, 4, size=size).astype(float)  # heavy ties
+            keep = int(rng.integers(1, size + 1))
+            reference = np.sort(np.argsort(-np.abs(flat), kind="stable")[:keep])
+            np.testing.assert_array_equal(topk_flat_indices(flat, keep), reference)
+
+    def test_nan_entries_rank_last(self):
+        # A NaN in a diverging update must not poison the selection: the
+        # top-k finite entries survive, exactly as the stable sort ranks.
+        from repro.fl.transport.codecs import topk_flat_indices
+
+        flat = np.array([5.0, np.nan, 3.0, 1.0, 4.0])
+        np.testing.assert_array_equal(topk_flat_indices(flat, 2), [0, 4])
+        reference = np.sort(np.argsort(-np.abs(flat), kind="stable")[:4])
+        np.testing.assert_array_equal(topk_flat_indices(flat, 4), reference)
+
+
+class TestEngineHelpers:
+    def test_state_vector_alignment(self):
+        state = random_state(30)
+        flat = FlatState.from_state(state)
+        np.testing.assert_array_equal(state_vector(flat), flat.vector)
+        reversed_layout = StateLayout.of(list(flat.layout.entries)[::-1])
+        aligned = state_vector(flat, reversed_layout)
+        np.testing.assert_array_equal(
+            aligned, np.concatenate([state[n].ravel() for n, _ in reversed_layout.entries])
+        )
+
+    def test_as_flat_state_respects_flag(self):
+        state = random_state(31)
+        assert isinstance(as_flat_state(state), FlatState)
+        with flat_states_disabled():
+            assert as_flat_state(state) is state
+
+    def test_flat_model_state_matches_state_dict(self, num_channels):
+        model = FLNet(num_channels, hidden_filters=8, kernel_size=5, seed=0)
+        flat = P.flat_model_state(model)
+        assert isinstance(flat, FlatState)
+        assert states_equal(flat, model.state_dict())
+        assert list(flat) == list(model.state_dict())

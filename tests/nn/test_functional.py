@@ -94,6 +94,35 @@ class TestCol2ImAdjoint:
         assert back[0, 0, 0, 0] == pytest.approx(4.0)
 
 
+class TestGatherIndexCaching:
+    """The im2col/col2im index arrays are memoized per geometry key."""
+
+    def test_repeated_calls_hit_the_cache(self):
+        F._im2col_indices.cache_clear()
+        F._col2im_flat_index.cache_clear()
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        first = F.im2col(x, 3, 3, stride=1, padding=1)
+        second = F.im2col(x, 3, 3, stride=1, padding=1)
+        np.testing.assert_array_equal(first, second)
+        info = F._im2col_indices.cache_info()
+        assert info.hits >= 1 and info.misses == 1
+        cols = np.random.default_rng(1).normal(size=first.shape)
+        F.col2im(cols, x.shape, 3, 3, stride=1, padding=1)
+        F.col2im(cols, x.shape, 3, 3, stride=1, padding=1)
+        flat_info = F._col2im_flat_index.cache_info()
+        assert flat_info.hits >= 1 and flat_info.misses == 1
+
+    def test_cached_indices_are_read_only(self):
+        for index in F._im2col_indices(2, 3, 3, 4, 4, 1, 1):
+            assert not index.flags.writeable
+        assert not F._col2im_flat_index(2, 3, 3, 4, 4, 1, 1, 6, 6).flags.writeable
+
+    def test_distinct_geometries_get_distinct_entries(self):
+        small = F._im2col_indices(1, 3, 3, 4, 4, 1, 1)
+        large = F._im2col_indices(1, 3, 3, 6, 6, 1, 1)
+        assert small[1].shape != large[1].shape
+
+
 class TestActivations:
     def test_sigmoid_symmetry(self):
         x = np.linspace(-20, 20, 101)

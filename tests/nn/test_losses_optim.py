@@ -153,6 +153,92 @@ class TestOptimizers:
             Adam([], lr=0.1)
 
 
+class TestInPlaceStepBitIdentity:
+    """The in-place (``out=``) optimizer steps must be bit-identical to the
+    original expression-form updates they replaced."""
+
+    SHAPES = [(4, 3), (7,), (2, 2, 3)]
+    STEPS = 6
+
+    def _run(self, optimizer, params, grads):
+        for step_grads in grads:
+            for param, grad in zip(params, step_grads):
+                param.grad[...] = grad
+            optimizer.step()
+
+    def _make_problem(self, seed=0):
+        rng = np.random.default_rng(seed)
+        initial = [rng.normal(size=shape) for shape in self.SHAPES]
+        grads = [
+            [rng.normal(size=shape) for shape in self.SHAPES] for _ in range(self.STEPS)
+        ]
+        return initial, grads
+
+    @staticmethod
+    def _reference_sgd(datas, grads, lr, momentum, weight_decay):
+        velocity = {}
+        for step_grads in grads:
+            for index, data in enumerate(datas):
+                grad = step_grads[index] + weight_decay * data if weight_decay else step_grads[index]
+                if momentum:
+                    v = velocity.get(index, np.zeros_like(data))
+                    v = momentum * v + grad
+                    velocity[index] = v
+                    update = v
+                else:
+                    update = grad
+                datas[index] = data - lr * update
+
+    @staticmethod
+    def _reference_adam(datas, grads, lr, beta1, beta2, eps, weight_decay):
+        first, second = {}, {}
+        for t, step_grads in enumerate(grads, start=1):
+            bias1 = 1.0 - beta1**t
+            bias2 = 1.0 - beta2**t
+            for index, data in enumerate(datas):
+                grad = step_grads[index] + weight_decay * data if weight_decay else step_grads[index]
+                m = first.get(index, np.zeros_like(data))
+                v = second.get(index, np.zeros_like(data))
+                m = beta1 * m + (1.0 - beta1) * grad
+                v = beta2 * v + (1.0 - beta2) * grad**2
+                first[index], second[index] = m, v
+                data -= lr * (m / bias1) / (np.sqrt(v / bias2) + eps)
+
+    @pytest.mark.parametrize("momentum", [0.0, 0.9])
+    @pytest.mark.parametrize("weight_decay", [0.0, 1e-3])
+    def test_sgd_matches_expression_form(self, momentum, weight_decay):
+        initial, grads = self._make_problem()
+        params = [Parameter(values.copy()) for values in initial]
+        self._run(SGD(params, lr=0.01, momentum=momentum, weight_decay=weight_decay), params, grads)
+        reference = [values.copy() for values in initial]
+        self._reference_sgd(reference, grads, 0.01, momentum, weight_decay)
+        for param, expected in zip(params, reference):
+            np.testing.assert_array_equal(param.data, expected)
+
+    @pytest.mark.parametrize("weight_decay", [0.0, 1e-5])
+    def test_adam_matches_expression_form(self, weight_decay):
+        initial, grads = self._make_problem(seed=1)
+        params = [Parameter(values.copy()) for values in initial]
+        self._run(Adam(params, lr=2e-4, weight_decay=weight_decay), params, grads)
+        reference = [values.copy() for values in initial]
+        self._reference_adam(reference, grads, 2e-4, 0.9, 0.999, 1e-8, weight_decay)
+        for param, expected in zip(params, reference):
+            np.testing.assert_array_equal(param.data, expected)
+
+    def test_step_allocates_no_new_state_after_first_call(self):
+        initial, grads = self._make_problem(seed=2)
+        params = [Parameter(values.copy()) for values in initial]
+        adam = Adam(params, lr=1e-3)
+        for param, grad in zip(params, grads[0]):
+            param.grad[...] = grad
+        adam.step()
+        moments_before = [adam._first_moment[i] for i in range(len(params))]
+        scratch_before = [adam._scratch[i] for i in range(len(params))]
+        adam.step()
+        assert all(adam._first_moment[i] is m for i, m in enumerate(moments_before))
+        assert all(adam._scratch[i] is s for i, s in enumerate(scratch_before))
+
+
 class TestInit:
     def test_kaiming_uniform_bound(self):
         rng = np.random.default_rng(0)
