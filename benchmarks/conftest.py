@@ -11,6 +11,9 @@ output capture.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
@@ -35,6 +38,29 @@ def write_result(name: str, text: str) -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def write_records(name: str, records: Sequence[Dict[str, object]]) -> Path:
+    """Persist machine-readable benchmark records to benchmarks/results/<name>.json.
+
+    Each record is one measurement: at minimum ``{"op": ..., "config": ...,
+    "ms": ...}``, plus ``"speedup"`` (and anything else) where meaningful.
+    A small environment header makes runs comparable across machines, so
+    the perf trajectory is trackable across PRs.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "benchmark": name,
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "records": list(records),
+    }
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path
 
 
@@ -65,3 +91,65 @@ def render_table(result: ExperimentResult, title: str) -> str:
 def bench_cache_dir() -> Path:
     CACHE_DIR.mkdir(parents=True, exist_ok=True)
     return CACHE_DIR
+
+
+# -- shared 9-client FedAvg round fixture ----------------------------------------
+#
+# One synthetic-grid client roster shared by the execution-backend and
+# training-engine benchmarks, so their per-round numbers are measured on the
+# identical workload (9 FLNet clients, 16x16 grids, batch 4).
+
+BENCH_NUM_CLIENTS = 9
+BENCH_GRID = 16
+BENCH_CHANNELS = 6
+BENCH_SAMPLES_PER_CLIENT = 8
+BENCH_LOCAL_STEPS = 8
+
+
+class BenchModelBuilder:
+    """Picklable FLNet builder (the process pool may need to ship clients)."""
+
+    def __call__(self, seed: int):
+        from repro.models import FLNet
+
+        return FLNet(BENCH_CHANNELS, seed=seed)
+
+
+def synthetic_dataset(client_id: int, name: str, samples: int):
+    """Synthetic feature/label grids: the benchmarks measure the engine, not data generation."""
+    import numpy as np
+
+    from repro.data.dataset import PlacementSample, RoutabilityDataset
+
+    rng = np.random.default_rng(1000 + client_id)
+    built = []
+    for index in range(samples):
+        features = rng.normal(size=(BENCH_CHANNELS, BENCH_GRID, BENCH_GRID))
+        label = (rng.random((BENCH_GRID, BENCH_GRID)) < 0.15).astype(np.float64)
+        built.append(
+            PlacementSample(
+                features=features,
+                label=label,
+                design_name=f"synthetic_c{client_id}",
+                suite="synthetic",
+                placement_index=index,
+            )
+        )
+    return RoutabilityDataset(built, name=name)
+
+
+def fresh_clients(config) -> list:
+    """A fresh 9-client roster (fresh RNG streams) for one benchmark run."""
+    from repro.fl import FederatedClient, SeededModelFactory
+
+    factory = SeededModelFactory(BenchModelBuilder(), base_seed=0)
+    return [
+        FederatedClient(
+            client_id,
+            synthetic_dataset(client_id, f"bench_train_{client_id}", BENCH_SAMPLES_PER_CLIENT),
+            synthetic_dataset(100 + client_id, f"bench_test_{client_id}", 2),
+            factory,
+            config,
+        )
+        for client_id in range(1, BENCH_NUM_CLIENTS + 1)
+    ]

@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
-from conftest import write_result
+from conftest import write_records, write_result
 from repro.fl.parameters import FlatState, reference_mode, weighted_average
 from repro.models import RouteNet
 from repro.nn.layers.conv import Conv2d
@@ -68,9 +68,12 @@ def best_of(callable_: Callable[[], object], repeats: int = 5) -> float:
     return best
 
 
-def bench_aggregation(base: Dict[str, np.ndarray]) -> Tuple[List[str], Dict[int, float]]:
+def bench_aggregation(
+    base: Dict[str, np.ndarray], regime: str
+) -> Tuple[List[str], Dict[int, float], List[Dict[str, object]]]:
     lines = [f"{'K clients':>10} {'dict/stack ms':>14} {'flat GEMV ms':>13} {'speedup':>8}"]
     speedups: Dict[int, float] = {}
+    records: List[Dict[str, object]] = []
     for count in CLIENT_COUNTS:
         dict_states = perturbed_states(base, count)
         flat_states = [FlatState.from_state(state) for state in dict_states]
@@ -95,7 +98,16 @@ def bench_aggregation(base: Dict[str, np.ndarray]) -> Tuple[List[str], Dict[int,
             f"{count:>10} {dict_seconds * 1e3:>14.3f} {flat_seconds * 1e3:>13.3f} "
             f"{speedups[count]:>7.1f}x"
         )
-    return lines, speedups
+        records.append(
+            {
+                "op": "weighted_average",
+                "config": f"{regime}_K{count}",
+                "ms": round(flat_seconds * 1e3, 3),
+                "reference_ms": round(dict_seconds * 1e3, 3),
+                "speedup": round(speedups[count], 3),
+            }
+        )
+    return lines, speedups, records
 
 
 def test_param_ops_throughput():
@@ -107,14 +119,14 @@ def test_param_ops_throughput():
         f"Weighted averaging, deep estimator ({len(deep)} tensors, "
         f"{sum(v.size for v in deep.values()):,} values):",
     ]
-    deep_lines, deep_speedups = bench_aggregation(deep)
+    deep_lines, deep_speedups, deep_records = bench_aggregation(deep, "deep")
     lines += deep_lines
     lines += [
         "",
         f"Weighted averaging, RouteNet ({len(shallow)} tensors, "
         f"{sum(v.size for v in shallow.values()):,} values; memory-bound regime):",
     ]
-    shallow_lines, shallow_speedups = bench_aggregation(shallow)
+    shallow_lines, shallow_speedups, shallow_records = bench_aggregation(shallow, "routenet")
     lines += shallow_lines
 
     lines += [
@@ -135,6 +147,7 @@ def test_param_ops_throughput():
         TopKCodec(keep_fraction=0.1),
     ]
     codec_speedups = {}
+    codec_records = []
     for codec in codecs:
         def roundtrip(state):
             return codec.decode(codec.encode(state))
@@ -143,6 +156,15 @@ def test_param_ops_throughput():
         flat_seconds = best_of(lambda: roundtrip(sorted_flat))
         assert codec.encode(dict(shallow)).data == codec.encode(sorted_flat).data
         codec_speedups[codec.describe()] = dict_seconds / flat_seconds
+        codec_records.append(
+            {
+                "op": "codec_roundtrip",
+                "config": codec.describe(),
+                "ms": round(flat_seconds * 1e3, 3),
+                "reference_ms": round(dict_seconds * 1e3, 3),
+                "speedup": round(codec_speedups[codec.describe()], 3),
+            }
+        )
         lines.append(
             f"{codec.describe():>22} {dict_seconds * 1e3:>10.3f} {flat_seconds * 1e3:>10.3f} "
             f"{codec_speedups[codec.describe()]:>7.1f}x"
@@ -155,6 +177,7 @@ def test_param_ops_throughput():
     ]
     report = "\n".join(lines)
     write_result("param_ops", report)
+    write_records("param_ops", deep_records + shallow_records + codec_records)
     print("\n" + report)
 
     assert deep_speedups[256] >= REQUIRED_AGGREGATION_SPEEDUP, deep_speedups

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import replace
 
-from conftest import CACHE_DIR, write_result
+from conftest import CACHE_DIR, write_records, write_result
 
 from repro.experiments import ExperimentRunner, smoke
 
@@ -106,3 +106,20 @@ def test_scheduling_policies(benchmark):
     text = "\n".join(lines)
     print("\n" + text)
     write_result("scheduling_policies", text)
+    write_records(
+        "scheduling_policies",
+        [
+            {
+                "op": "simulated_schedule",
+                "config": name,
+                "simulated_seconds": round(outcome.scheduling.simulated_seconds, 1),
+                "time_to_target_seconds": (
+                    round(reach_times[name], 1) if math.isfinite(reach_times[name]) else None
+                ),
+                "selected": outcome.scheduling.total_selected,
+                "dropped": outcome.scheduling.total_dropped,
+                "average_auc": round(outcome.evaluation.average_auc, 4),
+            }
+            for name, outcome in outcomes.items()
+        ],
+    )

@@ -8,7 +8,7 @@ delta-encoded uploads against a float32 identity wire — the acceptance bar
 is >= 4x — plus the top-k sparsification setting for context.
 """
 
-from conftest import CACHE_DIR, write_result
+from conftest import CACHE_DIR, write_records, write_result
 
 from repro.experiments import ExperimentRunner, smoke
 
@@ -67,3 +67,23 @@ def test_transport_compression(benchmark):
     text = "\n".join(lines)
     print("\n" + text)
     write_result("transport_compression", text)
+    write_records(
+        "transport_compression",
+        [
+            {
+                "op": "fedavg_run_bytes",
+                "config": name,
+                "uplink_bytes": comm.total_uplink_bytes,
+                "downlink_bytes": comm.total_downlink_bytes,
+                "average_auc": round(auc, 4),
+            }
+            for name, (comm, auc) in measured.items()
+        ]
+        + [
+            {
+                "op": "uplink_reduction",
+                "config": "quantize8_delta_vs_float32",
+                "speedup": round(uplink_ratio, 3),
+            }
+        ],
+    )

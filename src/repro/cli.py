@@ -163,16 +163,25 @@ def _add_reproduce(subparsers) -> None:
     parser.add_argument("--output", default=None, help="write the rendered table to this file")
     parser.add_argument(
         "--backend",
-        choices=("auto", "serial", "process"),
+        choices=("auto", "serial", "process", "thread"),
         default="auto",
-        help="execution backend for client updates (auto: process when --workers > 1)",
+        help="execution backend for client updates (auto: process when --workers > 1; "
+        "thread overlaps clients via GIL-releasing NumPy kernels with zero pickling)",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker processes per round; 1 forces serial execution, "
-        ">1 fans client updates out over processes (results are bit-identical)",
+        help="workers per round; 1 forces serial execution, >1 fans client "
+        "updates out over the process/thread pool (results are bit-identical)",
+    )
+    parser.add_argument(
+        "--compute-dtype",
+        choices=("float64", "float32"),
+        default=None,
+        help="local-training arithmetic dtype (default float64, bit-identical to "
+        "previous releases; float32 is the fast path — states, aggregation, and "
+        "checkpoints stay float64 either way)",
     )
     parser.add_argument(
         "--checkpoint-dir",
@@ -295,6 +304,7 @@ def _cmd_reproduce(args) -> int:
             backend=args.backend,
             workers=args.workers,
             checkpoint_dir=args.checkpoint_dir,
+            compute_dtype=args.compute_dtype,
         ).with_transport(
             compression=args.compression,
             compression_bits=args.compression_bits,
@@ -332,6 +342,12 @@ def _cmd_reproduce(args) -> int:
     if config.scheduling_requested:
         text += f"\n\nClient scheduling (--round-policy {args.round_policy}):\n"
         text += scheduling_text(result)
+    if config.fl.compute_dtype != "float64":
+        text += (
+            f"\n\ncompute dtype {config.fl.compute_dtype}: local training ran in the "
+            "reduced-precision fast path (parameter states, aggregation, and "
+            "checkpoints stay float64)"
+        )
     print(text)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

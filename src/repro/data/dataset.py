@@ -59,6 +59,9 @@ class RoutabilityDataset:
     def __init__(self, samples: Optional[Iterable[PlacementSample]] = None, name: str = "dataset"):
         self.name = name
         self._samples: List[PlacementSample] = list(samples) if samples is not None else []
+        #: Contiguous (features, labels) pack per dtype, built lazily by
+        #: :meth:`packed_arrays` and invalidated whenever a sample is added.
+        self._packed: Dict[np.dtype, Tuple[np.ndarray, np.ndarray]] = {}
         self._validate_consistency()
 
     def _validate_consistency(self) -> None:
@@ -86,6 +89,7 @@ class RoutabilityDataset:
         if self._samples and sample.features.shape != self._samples[0].features.shape:
             raise ValueError("sample shape does not match the rest of the dataset")
         self._samples.append(sample)
+        self._packed.clear()
 
     def extend(self, samples: Iterable[PlacementSample]) -> None:
         for sample in samples:
@@ -104,17 +108,48 @@ class RoutabilityDataset:
             raise ValueError(f"dataset {self.name!r} is empty")
         return self._samples[0].grid_shape
 
-    def features_array(self) -> np.ndarray:
-        """All features stacked as ``(N, C, H, W)``."""
+    def packed_arrays(self, dtype=np.float64) -> Tuple[np.ndarray, np.ndarray]:
+        """Contiguous ``(N, C, H, W)`` features and ``(N, H, W)`` labels.
+
+        Packed **once** per dtype and cached (samples are immutable in
+        practice; any :meth:`add` invalidates the cache), so batch collation
+        becomes a single fancy-index gather instead of a per-sample Python
+        loop.  The returned arrays are shared and read-only — callers that
+        need to mutate must copy (:meth:`features_array` /
+        :meth:`labels_array` do exactly that).
+        """
         if not self._samples:
             raise ValueError(f"dataset {self.name!r} is empty")
-        return np.stack([sample.features for sample in self._samples], axis=0)
+        key = np.dtype(dtype)
+        cached = self._packed.get(key)
+        if cached is None:
+            base_key = np.dtype(np.float64)
+            base = self._packed.get(base_key)
+            if base is None:
+                features = np.stack([sample.features for sample in self._samples], axis=0)
+                labels = np.stack([sample.label for sample in self._samples], axis=0)
+                features.setflags(write=False)
+                labels.setflags(write=False)
+                base = (features, labels)
+                self._packed[base_key] = base
+            if key == base_key:
+                cached = base
+            else:
+                features = base[0].astype(key)
+                labels = base[1].astype(key)
+                features.setflags(write=False)
+                labels.setflags(write=False)
+                cached = (features, labels)
+                self._packed[key] = cached
+        return cached
+
+    def features_array(self) -> np.ndarray:
+        """All features stacked as ``(N, C, H, W)`` (a fresh, writable copy)."""
+        return self.packed_arrays()[0].copy()
 
     def labels_array(self) -> np.ndarray:
-        """All labels stacked as ``(N, H, W)``."""
-        if not self._samples:
-            raise ValueError(f"dataset {self.name!r} is empty")
-        return np.stack([sample.label for sample in self._samples], axis=0)
+        """All labels stacked as ``(N, H, W)`` (a fresh, writable copy)."""
+        return self.packed_arrays()[1].copy()
 
     def design_names(self) -> List[str]:
         """Distinct design names present, in first-appearance order."""

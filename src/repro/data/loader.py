@@ -1,4 +1,21 @@
-"""Mini-batch iteration over routability datasets."""
+"""Mini-batch iteration over routability datasets.
+
+Batches are gathered straight out of the dataset's contiguous packed
+arrays (:meth:`RoutabilityDataset.packed_arrays`) into **reused** batch
+buffers — one ``np.take`` per batch instead of a per-sample Python
+stacking loop.
+
+Aliasing contract
+-----------------
+A returned ``(features, labels)`` pair is valid until the **next** batch is
+drawn from the same loader (the training loop's consume-then-advance
+pattern); callers that keep batches across draws must copy.  The gathered
+values are identical to the historical stack-based collation, bit for bit
+(``tests/data`` asserts the parity); the reference implementation survives
+as :meth:`DataLoader._collate_stacked` and is selected when
+:func:`repro.nn.workspace.workspaces_disabled` is active, which is also how
+the training-engine benchmark reconstructs the pre-engine baseline.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +24,7 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 
 from repro.data.dataset import RoutabilityDataset
+from repro.nn.workspace import workspaces_enabled
 from repro.utils.rng import new_rng
 from repro.utils.validation import check_positive
 
@@ -15,7 +33,10 @@ class DataLoader:
     """Iterates a dataset in mini-batches of ``(features, labels)`` arrays.
 
     Features are returned as ``(B, C, H, W)`` and labels as ``(B, 1, H, W)``
-    so they can be compared directly against model outputs.
+    so they can be compared directly against model outputs.  ``dtype``
+    selects the dtype batches are produced in (the trainer passes its
+    compute dtype, so a float32 run never upcasts batch data); the default
+    ``float64`` matches the historical behavior exactly.
     """
 
     def __init__(
@@ -25,6 +46,7 @@ class DataLoader:
         shuffle: bool = True,
         drop_last: bool = False,
         rng: Optional[np.random.Generator] = None,
+        dtype=None,
     ):
         check_positive("batch_size", batch_size)
         if len(dataset) == 0:
@@ -33,7 +55,10 @@ class DataLoader:
         self.batch_size = int(batch_size)
         self.shuffle = bool(shuffle)
         self.drop_last = bool(drop_last)
+        self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
         self._rng = rng if rng is not None else new_rng(0)
+        self._feature_buffer: Optional[np.ndarray] = None
+        self._label_buffer: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         full, remainder = divmod(len(self.dataset), self.batch_size)
@@ -51,9 +76,36 @@ class DataLoader:
                 break
             yield self._collate(batch_indices)
 
+    def _batch_buffers(self, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Views of the persistent batch buffers for a batch of ``size``."""
+        if self._feature_buffer is None:
+            channels = self.dataset.num_channels
+            height, width = self.dataset.grid_shape
+            self._feature_buffer = np.empty(
+                (self.batch_size, channels, height, width), dtype=self.dtype
+            )
+            self._label_buffer = np.empty((self.batch_size, 1, height, width), dtype=self.dtype)
+        return self._feature_buffer[:size], self._label_buffer[:size]
+
     def _collate(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if not workspaces_enabled():
+            return self._collate_stacked(indices)
+        indices = np.asarray(indices, dtype=np.intp)
+        features, labels = self.dataset.packed_arrays(self.dtype)
+        feature_batch, label_batch = self._batch_buffers(indices.size)
+        # mode="clip" takes NumPy's direct write-through path (indices are
+        # in range by construction; see repro.nn.functional.im2col).
+        np.take(features, indices, axis=0, out=feature_batch, mode="clip")
+        np.take(labels, indices, axis=0, out=label_batch[:, 0], mode="clip")
+        return feature_batch, label_batch
+
+    def _collate_stacked(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """The historical per-sample collation (parity reference, pre-engine path)."""
         features = np.stack([self.dataset[int(i)].features for i in indices], axis=0)
         labels = np.stack([self.dataset[int(i)].label for i in indices], axis=0)
+        if self.dtype != features.dtype:
+            features = features.astype(self.dtype)
+            labels = labels.astype(self.dtype)
         return features, labels[:, None, :, :]
 
     def sample_batch(self) -> Tuple[np.ndarray, np.ndarray]:

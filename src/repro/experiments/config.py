@@ -59,9 +59,13 @@ class ExperimentConfig:
     Execution options
     -----------------
     ``backend`` selects where each round's client updates run: ``"serial"``
-    (in-process, the default), ``"process"`` (a pool of ``workers``
-    processes), or ``None`` / ``"auto"`` to infer from ``workers``.  Any
-    backend produces bit-identical results for the same seed.
+    (in-process, the default), ``"process"`` (a warm pool of ``workers``
+    processes, spawned once per run), ``"thread"`` (a warm thread pool —
+    NumPy releases the GIL inside the conv/GEMM kernels, so client steps
+    overlap with zero pickling), or ``None`` / ``"auto"`` to infer from
+    ``workers``.  Any backend produces bit-identical results for the same
+    seed.  The local-training arithmetic dtype is ``fl.compute_dtype``
+    (``with_execution(compute_dtype="float32")`` opts into the fast path).
     ``checkpoint_dir`` enables per-round checkpoint/resume for the
     global-state algorithms (one subdirectory per algorithm).
 
@@ -235,15 +239,22 @@ class ExperimentConfig:
         backend: object = _KEEP,
         workers: object = _KEEP,
         checkpoint_dir: object = _KEEP,
+        compute_dtype: object = _KEEP,
     ) -> "ExperimentConfig":
         """A copy of this configuration with different execution options.
 
         Omitted options keep their current value; pass ``None`` explicitly to
         reset one (e.g. ``with_execution(checkpoint_dir=None)`` disables
-        checkpointing without touching the backend choice).
+        checkpointing without touching the backend choice).  ``compute_dtype``
+        selects the local-training arithmetic dtype and lives on the nested
+        :class:`~repro.fl.FLConfig` (``None`` resets to float64).
         """
+        fl = self.fl
+        if compute_dtype is not _KEEP:
+            fl = replace(fl, compute_dtype=compute_dtype if compute_dtype is not None else "float64")
         return replace(
             self,
+            fl=fl,
             backend=self.backend if backend is _KEEP else backend,
             workers=self.workers if workers is _KEEP else workers,
             checkpoint_dir=self.checkpoint_dir if checkpoint_dir is _KEEP else checkpoint_dir,

@@ -123,6 +123,7 @@ from repro.fl.execution import (
     ClientUpdate,
     ExecutionBackend,
     ProcessPoolBackend,
+    ThreadPoolBackend,
     RoundCheckpoint,
     SerialBackend,
     create_backend,
@@ -263,6 +264,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ThreadPoolBackend",
     "ClientTask",
     "ClientUpdate",
     "create_backend",

@@ -298,6 +298,12 @@ class FederatedAlgorithm:
                 "delta_upload": self.channel.delta_upload,
                 "error_feedback": self.channel.error_feedback,
             }
+        if self.config.compute_dtype != "float64":
+            # A float32 trajectory is not bit-compatible with a float64 one;
+            # resuming across the dtype switch must fail loudly.  Default
+            # (float64) runs omit the key so pre-engine checkpoints stay
+            # resumable.
+            fingerprint["compute_dtype"] = self.config.compute_dtype
         fingerprint.update({
             "algorithm": self.name,
             "seed": self.config.seed,

@@ -60,6 +60,7 @@ class Centralized(FederatedAlgorithm):
             learning_rate=config.learning_rate,
             weight_decay=config.weight_decay,
             batch_size=config.batch_size,
+            compute_dtype=config.compute_dtype,
         )
         model = self.model_factory()
         stats = trainer.train_steps(model, pooled, steps=config.effective_centralized_steps)

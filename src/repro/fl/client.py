@@ -56,7 +56,12 @@ class FederatedClient:
             weight_decay=config.weight_decay,
             batch_size=config.batch_size,
             rng=self._rng,
+            compute_dtype=config.compute_dtype,
         )
+        # Switch the resident model once at construction; afterwards every
+        # load_state_dict casts the incoming float64 state down in place and
+        # every flat_model_state casts back up — the compute-dtype boundary.
+        self._model.set_compute_dtype(config.compute_dtype)
 
     @classmethod
     def from_client_data(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.nn.dtypes import COMPUTE_DTYPE_CHOICES
 from repro.utils.validation import check_choice, check_positive, check_probability
 
 #: The paper's assigned clustering: three ITC'99 clients, three ISCAS'89
@@ -52,6 +53,12 @@ class FLConfig:
     ifca_eval_batches:
         Number of training batches a client uses to score each cluster model
         when choosing its cluster in IFCA.
+    compute_dtype:
+        Floating dtype local training arithmetic runs in: ``"float64"``
+        (default, bit-identical to the historical engine) or ``"float32"``
+        (the opt-in fast path — roughly half the memory bandwidth in the
+        conv/GEMM hot loop).  Parameter states crossing the client boundary
+        — aggregation, wire codecs, checkpoints — are float64 either way.
     seed:
         Seed for model initialization and batch shuffling.
     """
@@ -71,6 +78,7 @@ class FLConfig:
     centralized_steps: Optional[int] = None
     local_steps_total: Optional[int] = None
     ifca_eval_batches: int = 2
+    compute_dtype: str = "float64"
     seed: int = 0
 
     def __post_init__(self):
@@ -85,6 +93,7 @@ class FLConfig:
         check_positive("num_clusters", self.num_clusters)
         check_positive("batch_size", self.batch_size)
         check_choice("loss", self.loss, ("mse", "bce", "bce_logits"))
+        check_choice("compute_dtype", self.compute_dtype, COMPUTE_DTYPE_CHOICES)
         check_positive("ifca_eval_batches", self.ifca_eval_batches)
         if self.centralized_steps is not None:
             check_positive("centralized_steps", self.centralized_steps)

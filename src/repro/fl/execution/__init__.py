@@ -13,6 +13,7 @@ from repro.fl.execution.backend import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    ThreadPoolBackend,
     create_backend,
     default_worker_count,
     run_client_task,
@@ -26,6 +27,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ThreadPoolBackend",
     "create_backend",
     "default_worker_count",
     "run_client_task",

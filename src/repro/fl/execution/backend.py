@@ -14,7 +14,14 @@ computation runs:
     Fans the tasks of one round out across a pool of worker processes.
     Workers cache a pickled copy of the client roster once, so each task only
     ships ``(initial state, options, RNG state)`` in and
-    ``(new state, statistics, RNG state)`` out.
+    ``(new state, statistics, RNG state)`` out.  The pool is spawned once,
+    on the first ``map``, and stays **warm** across rounds (``spawn_count``
+    is the regression-tested witness).
+
+:class:`ThreadPoolBackend`
+    Runs the tasks on a warm thread pool in the calling process.  NumPy
+    releases the GIL inside the conv/GEMM kernels, so client steps overlap
+    with zero pickling; bit-identical to serial by construction.
 
 Backend contract
 ----------------
@@ -70,6 +77,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -305,6 +313,12 @@ class ProcessPoolBackend(ExecutionBackend):
             start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         self.start_method = start_method
         self._pool = None
+        #: Number of worker-pool spawns over this backend's lifetime.  A
+        #: multi-round run must report exactly 1 (the warm-pool guarantee,
+        #: regression-tested): workers are spawned lazily on the first
+        #: ``map`` and reused by every subsequent round until ``close()``
+        #: or a re-``bind`` with a different roster.
+        self.spawn_count = 0
 
     def bind(self, clients: Sequence) -> None:
         roster = list(clients)
@@ -326,6 +340,7 @@ class ProcessPoolBackend(ExecutionBackend):
             self._pool = context.Pool(
                 processes=processes, initializer=_init_worker, initargs=(self._clients,)
             )
+            self.spawn_count += 1
         return self._pool
 
     def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
@@ -379,10 +394,80 @@ class ProcessPoolBackend(ExecutionBackend):
             self._pool = None
 
 
+class ThreadPoolBackend(ExecutionBackend):
+    """Fans one round's client tasks out across a warm thread pool.
+
+    NumPy releases the GIL inside its BLAS/gather kernels — exactly where
+    the client step spends its time — so threads overlap the conv/GEMM work
+    of different clients with **zero pickling**: tasks read and mutate the
+    caller's own client objects directly, and states never cross a process
+    boundary.
+
+    Safety rests on the roster invariants the backend contract already
+    guarantees: at most one task per client per ``map`` call, and every
+    mutable object a task touches (model, trainer, optimizer scratch,
+    per-layer workspaces, RNG) is owned by exactly one client.  Shared
+    read-mostly structures (interned :class:`~repro.fl.parameters.StateLayout`
+    objects, memoized im2col indices) are immutable after construction and
+    their caches are race-free (atomic ``setdefault`` / ``lru_cache``).
+
+    Results are bit-identical to :class:`SerialBackend`: each client runs
+    the identical operation sequence with its own RNG, so scheduling order
+    cannot influence any value.  The executor is spawned lazily on the
+    first ``map`` and stays warm across rounds (``spawn_count`` counts
+    spawns, exactly like the process pool).
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None):
+        super().__init__()
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = int(workers) if workers is not None else default_worker_count()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self.spawn_count = 0
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            if not self._clients:
+                raise RuntimeError("ThreadPoolBackend.map called before bind()")
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(1, min(self.workers, len(self._clients))),
+                thread_name_prefix="repro-client",
+            )
+            self.spawn_count += 1
+        return self._executor
+
+    def _run_one(self, task: ClientTask) -> ClientUpdate:
+        client = self._clients[task.client_index]
+        state, payload, stats = run_client_task(client, task)
+        return ClientUpdate(
+            client_index=task.client_index,
+            client_id=client.client_id,
+            state=state,
+            stats=stats,
+            payload=payload,
+        )
+
+    def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
+        if not tasks:
+            return []
+        _check_one_task_per_client(tasks)
+        executor = self._ensure_executor()
+        return list(executor.map(self._run_one, tasks))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
 #: Registry of execution backends, keyed by their CLI name.
 BACKENDS: Dict[str, type] = {
     SerialBackend.name: SerialBackend,
     ProcessPoolBackend.name: ProcessPoolBackend,
+    ThreadPoolBackend.name: ThreadPoolBackend,
 }
 
 
@@ -392,7 +477,8 @@ def create_backend(name: Optional[str] = None, workers: Optional[int] = None) ->
     With ``name=None`` (or ``"auto"``) the backend is chosen from ``workers``:
     more than one worker selects the process pool, otherwise serial — so
     ``--workers N`` alone is enough to opt into parallel execution, and
-    ``--workers 1`` is guaranteed to reproduce serial results.
+    ``--workers 1`` is guaranteed to reproduce serial results.  The thread
+    backend is never auto-selected; ask for it with ``--backend thread``.
     """
     if name is None or name == "auto":
         name = ProcessPoolBackend.name if (workers or 1) > 1 else SerialBackend.name
@@ -401,6 +487,8 @@ def create_backend(name: Optional[str] = None, workers: Optional[int] = None) ->
         raise ValueError(f"unknown execution backend {name!r}; available: {sorted(BACKENDS)}")
     if key == ProcessPoolBackend.name:
         return ProcessPoolBackend(workers=workers)
+    if key == ThreadPoolBackend.name:
+        return ThreadPoolBackend(workers=workers)
     if workers is not None and workers > 1:
         raise ValueError(
             f"backend 'serial' cannot use {workers} workers; "

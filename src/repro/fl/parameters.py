@@ -162,8 +162,10 @@ class StateLayout:
         key = tuple((str(name), tuple(int(dim) for dim in shape)) for name, shape in entries)
         layout = cls._interned.get(key)
         if layout is None:
-            layout = cls(key)
-            cls._interned[key] = layout
+            # setdefault keeps interning atomic under the thread-pool
+            # execution backend: two clients racing to intern the same
+            # architecture agree on a single canonical layout object.
+            layout = cls._interned.setdefault(key, cls(key))
         return layout
 
     @classmethod

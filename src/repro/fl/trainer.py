@@ -5,12 +5,19 @@ with an optional FedProx proximal term.  The proximal term of Equation (1),
 ``mu * ||W^r - w||^2``, contributes ``2 * mu * (w - W^r)`` to each parameter
 gradient; adding it here (rather than inside the loss) keeps the layer code
 oblivious to federated learning.
+
+The trainer owns the **compute dtype** of local training (see
+:mod:`repro.nn.dtypes`): ``float64`` (default) is bit-identical to the
+historical engine, ``float32`` is the opt-in fast path.  The model is
+switched once on entry, batches are collated directly in the compute dtype,
+and the proximal reference is cast once per call — parameter states crossing
+the client boundary stay ``float64`` either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -18,6 +25,7 @@ from repro.data.dataset import RoutabilityDataset
 from repro.data.loader import DataLoader, infinite_batches
 from repro.fl.parameters import State
 from repro.models.base import RoutabilityModel
+from repro.nn.dtypes import resolve_compute_dtype
 from repro.nn.losses import Loss, make_loss
 from repro.nn.optim import make_optimizer
 from repro.utils.validation import check_positive
@@ -43,6 +51,7 @@ class LocalTrainer:
         weight_decay: float = 1e-5,
         batch_size: int = 8,
         rng: Optional[np.random.Generator] = None,
+        compute_dtype: Optional[str] = None,
     ):
         check_positive("learning_rate", learning_rate)
         check_positive("batch_size", batch_size)
@@ -51,16 +60,22 @@ class LocalTrainer:
         self.learning_rate = float(learning_rate)
         self.weight_decay = float(weight_decay)
         self.batch_size = int(batch_size)
+        self.compute_dtype = resolve_compute_dtype(compute_dtype)
         self._rng = rng if rng is not None else np.random.default_rng(0)
 
     def make_loader(self, dataset: RoutabilityDataset, shuffle: bool = True) -> DataLoader:
-        """Build a loader with this trainer's batch size and RNG."""
+        """Build a loader with this trainer's batch size, RNG, and compute dtype."""
         return DataLoader(
             dataset,
             batch_size=self.batch_size,
             shuffle=shuffle,
             rng=np.random.default_rng(self._rng.integers(0, 2**63 - 1)),
+            dtype=self.compute_dtype,
         )
+
+    def _prepare_model(self, model: RoutabilityModel) -> None:
+        """Switch ``model`` to this trainer's compute dtype (no-op when equal)."""
+        model.set_compute_dtype(self.compute_dtype)
 
     def train_steps(
         self,
@@ -84,6 +99,7 @@ class LocalTrainer:
         if proximal_mu > 0 and proximal_reference is None:
             raise ValueError("proximal_reference is required when proximal_mu > 0")
 
+        self._prepare_model(model)
         loader = self.make_loader(dataset)
         batches = infinite_batches(loader)
         loss_fn: Loss = make_loss(self.loss_name)
@@ -94,6 +110,13 @@ class LocalTrainer:
             weight_decay=self.weight_decay,
         )
         reference = proximal_reference if proximal_mu > 0 else None
+        if reference is not None and self.compute_dtype != np.dtype(np.float64):
+            # One cast per call instead of one upcast per parameter per step:
+            # the proximal arithmetic then runs entirely in the compute dtype.
+            reference = {
+                name: np.asarray(value, dtype=self.compute_dtype)
+                for name, value in reference.items()
+            }
         named_params = dict(model.named_parameters()) if reference is not None else {}
 
         model.train()
@@ -127,6 +150,7 @@ class LocalTrainer:
         max_batches: Optional[int] = None,
     ) -> float:
         """Mean loss of ``model`` over (a prefix of) ``dataset`` in eval mode."""
+        self._prepare_model(model)
         loader = self.make_loader(dataset, shuffle=False)
         loss_fn: Loss = make_loss(self.loss_name)
         model.eval()
@@ -150,15 +174,15 @@ def predict_dataset(
     """Predict scores for every sample of ``dataset``.
 
     Returns ``(scores, labels)`` flattened over all samples and grid bins,
-    ready for :func:`repro.metrics.roc_auc_score`.
+    ready for :func:`repro.metrics.roc_auc_score`.  Batches are contiguous
+    slices of the dataset's packed arrays — no per-sample stacking loop —
+    and scores are collected in float64 whatever the model's compute dtype.
     """
     check_positive("batch_size", batch_size)
+    features_all, labels_all = dataset.packed_arrays()
     scores = []
-    labels = []
     for start in range(0, len(dataset), batch_size):
-        chunk = [dataset[i] for i in range(start, min(start + batch_size, len(dataset)))]
-        features = np.stack([sample.features for sample in chunk], axis=0)
-        predictions = model.predict(features)
-        scores.append(predictions.reshape(-1))
-        labels.append(np.stack([sample.label for sample in chunk], axis=0).reshape(-1))
-    return np.concatenate(scores), np.concatenate(labels)
+        chunk = features_all[start : start + batch_size]
+        predictions = model.predict(chunk)
+        scores.append(np.asarray(predictions, dtype=np.float64).reshape(-1))
+    return np.concatenate(scores), labels_all.reshape(-1)

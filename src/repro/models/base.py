@@ -29,11 +29,15 @@ class RoutabilityModel(Module):
         self.in_channels = int(in_channels)
 
     def predict(self, features: np.ndarray) -> np.ndarray:
-        """Run inference in evaluation mode and return ``(N, 1, H, W)`` scores."""
+        """Run inference in evaluation mode and return ``(N, 1, H, W)`` scores.
+
+        Scores come out in the model's compute dtype (float32 under the
+        fast path); ROC AUC only depends on their ranking either way.
+        """
         was_training = self.training
         self.eval()
         try:
-            output = self.forward(np.asarray(features, dtype=np.float64))
+            output = self.forward(np.asarray(features, dtype=self.compute_dtype))
         finally:
             self.train(was_training)
         return output
@@ -54,7 +58,7 @@ class RoutabilityModel(Module):
         return [name for name, _ in self.named_parameters() if name not in local]
 
     def _check_input(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"{self.__class__.__name__} expected input of shape "

@@ -63,11 +63,18 @@ from repro.nn.schedulers import (
     make_scheduler,
 )
 from repro.nn.serialization import load_state_dict, save_state_dict, state_dicts_allclose
+from repro.nn.dtypes import COMPUTE_DTYPE_CHOICES, resolve_compute_dtype
 from repro.nn.parameter import Parameter
+from repro.nn.workspace import Workspace, workspaces_disabled, workspaces_enabled
 
 __all__ = [
     "functional",
     "init",
+    "COMPUTE_DTYPE_CHOICES",
+    "resolve_compute_dtype",
+    "Workspace",
+    "workspaces_disabled",
+    "workspaces_enabled",
     "Parameter",
     "Module",
     "Sequential",

@@ -7,17 +7,40 @@ the only way to get acceptable throughput out of NumPy.  All functions work on
 
 The im2col/col2im gather indices depend only on the layer geometry and the
 input spatial shape — both fixed across a training run — so they are built
-once and memoized (:func:`_im2col_indices`, :func:`_col2im_flat_index`)
-instead of being recomputed on every forward/backward call.  Cached arrays
-are marked read-only; they are only ever used as gather/scatter indices.
+once and memoized (:func:`_im2col_indices`, :func:`_col2im_flat_index`,
+:func:`_col2im_batch_index`) instead of being recomputed on every
+forward/backward call.  Cached arrays are marked read-only; they are only
+ever used as gather/scatter indices.
+
+Workspace fast path
+-------------------
+:func:`im2col` accepts ``out=`` / ``padded_out=`` buffers (persistent
+per-layer workspaces, see :mod:`repro.nn.workspace`): the patch gather then
+runs as one ``np.take`` straight into the reused buffer (``mode="clip"``
+selects NumPy's unbuffered write-through path; the memoized indices are
+always in range, so clipping never engages) and padding becomes an interior
+copy into a border-zeroed buffer instead of a fresh ``np.pad`` allocation.
+Both paths gather exactly the same elements — results are bit-identical —
+the workspace path just stops paying an allocation + page-fault per call.
+
+Dtype rules
+-----------
+Everything here is dtype-preserving: float32 inputs produce float32
+outputs (the compute-dtype fast path), float64 stays float64 bit for bit.
+:func:`col2im` accumulates in the columns' own dtype on the engine path
+(bit-identical to the historical float64 bincount for float64 inputs — the
+per-cell addition order is the same; see its docstring) and falls back to
+the float64 bincount scatter when workspaces are disabled.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.nn.workspace import workspaces_enabled
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int, dilation: int = 1) -> int:
@@ -88,7 +111,12 @@ def _col2im_flat_index(
     h_padded: int,
     w_padded: int,
 ) -> np.ndarray:
-    """Flattened per-image scatter indices used by :func:`col2im` (memoized)."""
+    """Flattened per-image gather/scatter indices into ``(c, h_padded, w_padded)``.
+
+    Used both as :func:`col2im`'s scatter target and as :func:`im2col`'s
+    flat gather source (the two operations are adjoint, so the index map is
+    the same).  Memoized; read-only.
+    """
     k, i, j = _im2col_indices(channels, kernel_h, kernel_w, out_h, out_w, stride, dilation)
     base_index = (k * h_padded + i) * w_padded + j  # (c*kh*kw, out_h*out_w)
     base_index.setflags(write=False)
@@ -102,6 +130,8 @@ def im2col(
     stride: int = 1,
     padding: int = 0,
     dilation: int = 1,
+    out: Optional[np.ndarray] = None,
+    padded_out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Unfold sliding patches of ``x`` into columns.
 
@@ -109,6 +139,17 @@ def im2col(
     ----------
     x:
         Input of shape ``(N, C, H, W)``.
+    out:
+        Optional persistent destination of shape
+        ``(N, C * kernel_h * kernel_w, out_h * out_w)`` and ``x``'s dtype;
+        the gather then writes straight into it (no fresh allocation) and
+        returns it.
+    padded_out:
+        Optional persistent padded-input buffer of shape
+        ``(N, C, H + 2 * padding, W + 2 * padding)`` whose border is
+        already zero (see :meth:`repro.nn.workspace.Workspace.zeros`); the
+        interior is overwritten with ``x`` each call instead of building a
+        fresh ``np.pad`` copy.
 
     Returns
     -------
@@ -119,9 +160,33 @@ def im2col(
     out_h = conv_output_size(h, kernel_h, stride, padding, dilation)
     out_w = conv_output_size(w, kernel_w, stride, padding, dilation)
     if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
+        if padded_out is not None:
+            # The buffer's border is zero by contract and only the interior
+            # is ever written, so this is equivalent to np.pad, minus the
+            # allocation.
+            padded_out[:, :, padding : padding + h, padding : padding + w] = x
+            x = padded_out
+        else:
+            x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
+    if out is not None and x.flags.c_contiguous:
+        flat_index = _col2im_flat_index(
+            c, kernel_h, kernel_w, out_h, out_w, stride, dilation, h + 2 * padding, w + 2 * padding
+        )
+        # mode="clip" avoids np.take's buffered mode="raise" path; the
+        # memoized indices are in range by construction, so it never clips.
+        np.take(
+            x.reshape(n, -1),
+            flat_index.reshape(-1),
+            axis=1,
+            out=out.reshape(n, -1),
+            mode="clip",
+        )
+        return out
     k, i, j = _im2col_indices(c, kernel_h, kernel_w, out_h, out_w, stride, dilation)
     cols = x[:, k, i, j]
+    if out is not None:
+        np.copyto(out, cols)
+        return out
     return cols
 
 
@@ -138,6 +203,22 @@ def col2im(
 
     This is the adjoint of :func:`im2col`; it is used both for convolution
     backward passes and for the forward pass of transposed convolutions.
+    The result has ``cols``'s dtype and is always freshly allocated (it is
+    a layer's returned value, never workspace scratch).
+
+    Two equivalent accumulation engines:
+
+    * **Tap accumulation** (the default): one vectorized ``+=`` per kernel
+      position into strided slices of the padded image.  For every output
+      cell the contributions arrive in ascending ``(ki, kj)`` order —
+      exactly the order the flattened-bincount scatter visits them — so for
+      a given dtype the result is **bit-identical** to the historical
+      bincount path (asserted by ``tests/nn``); float32 columns accumulate
+      natively in float32, which is where the fast path's bandwidth win
+      comes from.
+    * **Flattened bincount** (the pre-engine path, float64 accumulation),
+      kept under :func:`repro.nn.workspace.workspaces_disabled` as the
+      reproducible baseline.
     """
     n, c, h, w = x_shape
     out_h = conv_output_size(h, kernel_h, stride, padding, dilation)
@@ -146,24 +227,42 @@ def col2im(
     if cols.shape != expected:
         raise ValueError(f"col2im expected columns of shape {expected}, got {cols.shape}")
     h_padded, w_padded = h + 2 * padding, w + 2 * padding
-    # Scatter-add via bincount over flattened indices: orders of magnitude
-    # faster than np.add.at for the large index arrays convolutions produce.
-    per_image = c * h_padded * w_padded
-    base_index = _col2im_flat_index(
-        c, kernel_h, kernel_w, out_h, out_w, stride, dilation, h_padded, w_padded
-    )
-    offsets = np.arange(n) * per_image
-    flat_index = (offsets[:, None, None] + base_index[None, :, :]).ravel()
-    flat = np.bincount(flat_index, weights=cols.ravel(), minlength=n * per_image)
-    x_padded = flat.reshape(n, c, h_padded, w_padded)
+    if workspaces_enabled():
+        padded = np.zeros((n, c, h_padded, w_padded), dtype=cols.dtype)
+        taps = cols.reshape(n, c, kernel_h, kernel_w, out_h, out_w)
+        for ki in range(kernel_h):
+            row = ki * dilation
+            for kj in range(kernel_w):
+                col = kj * dilation
+                padded[
+                    :,
+                    :,
+                    row : row + stride * out_h : stride,
+                    col : col + stride * out_w : stride,
+                ] += taps[:, :, ki, kj]
+    else:
+        # Scatter-add via bincount over flattened indices: the historical
+        # engine (always accumulates in float64, then casts).
+        per_image = c * h_padded * w_padded
+        base_index = _col2im_flat_index(
+            c, kernel_h, kernel_w, out_h, out_w, stride, dilation, h_padded, w_padded
+        )
+        offsets = np.arange(n) * per_image
+        flat_index = (offsets[:, None, None] + base_index[None, :, :]).ravel()
+        flat = np.bincount(flat_index, weights=cols.ravel(), minlength=n * per_image)
+        if flat.dtype != cols.dtype:
+            flat = flat.astype(cols.dtype)
+        padded = flat.reshape(n, c, h_padded, w_padded)
     if padding > 0:
-        return x_padded[:, :, padding:-padding, padding:-padding]
-    return x_padded
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Numerically stable logistic sigmoid (dtype-preserving for floats)."""
+    x = np.asarray(x)
+    dtype = x.dtype if x.dtype in (np.float32, np.float64) else np.float64
+    out = np.empty_like(x, dtype=dtype)
     positive = x >= 0
     negative = ~positive
     out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
@@ -173,12 +272,12 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
 
 
 def log_sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable ``log(sigmoid(x))``."""
+    """Numerically stable ``log(sigmoid(x))`` (dtype-preserving for floats)."""
     return np.where(x >= 0, -np.log1p(np.exp(-np.abs(x))), x - np.log1p(np.exp(-np.abs(x))))
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax along ``axis``."""
+    """Numerically stable softmax along ``axis`` (dtype-preserving)."""
     shifted = x - np.max(x, axis=axis, keepdims=True)
     exp = np.exp(shifted)
     return exp / np.sum(exp, axis=axis, keepdims=True)

@@ -18,7 +18,7 @@ class ReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
 
@@ -39,7 +39,7 @@ class LeakyReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         self._mask = x > 0
         return np.where(self._mask, x, self.negative_slope * x)
 
@@ -57,7 +57,7 @@ class Sigmoid(Module):
         self._output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._output = sigmoid(np.asarray(x, dtype=np.float64))
+        self._output = sigmoid(np.asarray(x, dtype=self.compute_dtype))
         return self._output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -74,7 +74,7 @@ class Tanh(Module):
         self._output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._output = np.tanh(np.asarray(x, dtype=np.float64))
+        self._output = np.tanh(np.asarray(x, dtype=self.compute_dtype))
         return self._output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

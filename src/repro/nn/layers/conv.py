@@ -15,6 +15,7 @@ from repro.nn.functional import (
 )
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
+from repro.nn.workspace import Workspace
 
 KernelSize = Union[int, Tuple[int, int]]
 
@@ -35,9 +36,13 @@ class Conv2d(Module):
 
     The im2col/col2im gather indices are memoized keyed by the layer
     geometry and input spatial shape (see
-    :func:`repro.nn.functional._im2col_indices`), so repeated
-    forward/backward calls — every training step — reuse them instead of
-    rebuilding the index arrays.
+    :func:`repro.nn.functional._im2col_indices`), and the large per-step
+    temporaries — the padded input, the im2col ``cols`` matrix,
+    ``grad_cols``, and the weight-gradient staging buffer — live in a
+    persistent per-layer :class:`~repro.nn.workspace.Workspace`, reused via
+    ``out=`` on every step instead of being reallocated.  Workspace buffers
+    are internal scratch only: the layer's outputs and input gradients are
+    always freshly allocated, so callers may hold them across steps.
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class Conv2d(Module):
             fan_in = in_channels * kh * kw
             self.bias = Parameter(init.uniform_bias((out_channels,), fan_in, rng), name="bias")
         self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int], Tuple[int, int]]] = None
+        self._ws = Workspace()
 
     def output_shape(self, height: int, width: int) -> Tuple[int, int]:
         """Spatial output shape for an input of ``height x width``."""
@@ -80,7 +86,7 @@ class Conv2d(Module):
         return out_h, out_w
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv2d expected input of shape (N, {self.in_channels}, H, W), got {x.shape}"
@@ -88,7 +94,18 @@ class Conv2d(Module):
         n, _, h, w = x.shape
         kh, kw = self.kernel_size
         out_h, out_w = self.output_shape(h, w)
-        cols = im2col(x, kh, kw, self.stride, self.padding, self.dilation)
+        dtype = x.dtype
+        padded = (
+            self._ws.zeros(
+                "padded", (n, self.in_channels, h + 2 * self.padding, w + 2 * self.padding), dtype
+            )
+            if self.padding > 0
+            else None
+        )
+        cols_buf = self._ws.get("cols", (n, self.in_channels * kh * kw, out_h * out_w), dtype)
+        cols = im2col(
+            x, kh, kw, self.stride, self.padding, self.dilation, out=cols_buf, padded_out=padded
+        )
         weight_matrix = self.weight.data.reshape(self.out_channels, -1)
         out = np.matmul(weight_matrix, cols)
         out = out.reshape(n, self.out_channels, out_h, out_w)
@@ -102,16 +119,26 @@ class Conv2d(Module):
             raise RuntimeError("Conv2d.backward called before forward")
         cols, x_shape, (out_h, out_w) = self._cache
         n = x_shape[0]
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = np.asarray(grad_output, dtype=self.compute_dtype)
         grad_flat = grad_output.reshape(n, self.out_channels, out_h * out_w)
         weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        dtype = cols.dtype
 
-        grad_weight = np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0)
+        stage = self._ws.get("grad_weight_stage", (n,) + weight_matrix.shape, dtype)
+        if stage is None:
+            grad_weight = np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0)
+        else:
+            np.matmul(grad_flat, cols.transpose(0, 2, 1), out=stage)
+            grad_weight = stage.sum(axis=0)
         self.weight.grad += grad_weight.reshape(self.weight.data.shape)
         if self.use_bias:
             self.bias.grad += grad_flat.sum(axis=(0, 2))
 
-        grad_cols = np.matmul(weight_matrix.T, grad_flat)
+        grad_cols_buf = self._ws.get("grad_cols", cols.shape, dtype)
+        if grad_cols_buf is None:
+            grad_cols = np.matmul(weight_matrix.T, grad_flat)
+        else:
+            grad_cols = np.matmul(weight_matrix.T, grad_flat, out=grad_cols_buf)
         kh, kw = self.kernel_size
         grad_input = col2im(
             grad_cols, x_shape, kh, kw, self.stride, self.padding, self.dilation
@@ -133,7 +160,8 @@ class ConvTranspose2d(Module):
     adjoint of :class:`Conv2d` via col2im, which makes the layer exactly the
     upsampling operator used by encoder/decoder routability models such as
     RouteNet.  As with :class:`Conv2d`, the col2im/im2col gather indices are
-    memoized per layer geometry and input spatial shape.
+    memoized per layer geometry and input spatial shape, and the column
+    matrices are staged in a persistent per-layer workspace.
     """
 
     def __init__(
@@ -169,6 +197,7 @@ class ConvTranspose2d(Module):
             fan_in = in_channels * kh * kw
             self.bias = Parameter(init.uniform_bias((out_channels,), fan_in, rng), name="bias")
         self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
+        self._ws = Workspace()
 
     def output_shape(self, height: int, width: int) -> Tuple[int, int]:
         """Spatial output shape for an input of ``height x width``."""
@@ -178,7 +207,7 @@ class ConvTranspose2d(Module):
         return out_h, out_w
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"ConvTranspose2d expected input of shape (N, {self.in_channels}, H, W), got {x.shape}"
@@ -188,7 +217,11 @@ class ConvTranspose2d(Module):
         out_h, out_w = self.output_shape(h, w)
         x_flat = x.reshape(n, self.in_channels, h * w)
         weight_matrix = self.weight.data.reshape(self.in_channels, -1)
-        cols = np.matmul(weight_matrix.T, x_flat)
+        cols_buf = self._ws.get("cols", (n, weight_matrix.shape[1], h * w), x.dtype)
+        if cols_buf is None:
+            cols = np.matmul(weight_matrix.T, x_flat)
+        else:
+            cols = np.matmul(weight_matrix.T, x_flat, out=cols_buf)
         out = col2im(
             cols,
             (n, self.out_channels, out_h, out_w),
@@ -209,15 +242,41 @@ class ConvTranspose2d(Module):
         x_flat, out_shape = self._cache
         n, _, out_h, out_w = out_shape
         kh, kw = self.kernel_size
-        grad_output = np.asarray(grad_output, dtype=np.float64)
-        grad_cols = im2col(grad_output, kh, kw, self.stride, self.padding, dilation=1)
+        grad_output = np.asarray(grad_output, dtype=self.compute_dtype)
+        dtype = grad_output.dtype
+        grad_cols_shape = (n, self.out_channels * kh * kw, x_flat.shape[2])
+        grad_cols_buf = self._ws.get("grad_cols", grad_cols_shape, dtype)
+        grad_padded = (
+            self._ws.zeros(
+                "grad_padded",
+                (n, self.out_channels, out_h + 2 * self.padding, out_w + 2 * self.padding),
+                dtype,
+            )
+            if self.padding > 0
+            else None
+        )
+        grad_cols = im2col(
+            grad_output,
+            kh,
+            kw,
+            self.stride,
+            self.padding,
+            dilation=1,
+            out=grad_cols_buf,
+            padded_out=grad_padded,
+        )
 
-        grad_weight = np.matmul(x_flat, grad_cols.transpose(0, 2, 1)).sum(axis=0)
+        weight_matrix = self.weight.data.reshape(self.in_channels, -1)
+        stage = self._ws.get("grad_weight_stage", (n,) + weight_matrix.shape, dtype)
+        if stage is None:
+            grad_weight = np.matmul(x_flat, grad_cols.transpose(0, 2, 1)).sum(axis=0)
+        else:
+            np.matmul(x_flat, grad_cols.transpose(0, 2, 1), out=stage)
+            grad_weight = stage.sum(axis=0)
         self.weight.grad += grad_weight.reshape(self.weight.data.shape)
         if self.use_bias:
             self.bias.grad += grad_output.sum(axis=(0, 2, 3))
 
-        weight_matrix = self.weight.data.reshape(self.in_channels, -1)
         grad_input_flat = np.matmul(weight_matrix, grad_cols)
         # Recover the original spatial size from the cached flat input.
         total = x_flat.shape[2]

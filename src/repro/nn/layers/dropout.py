@@ -25,16 +25,18 @@ class Dropout(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         if not self.training or self.p == 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.p
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        # The survivor draw stays float64 (same RNG stream for every compute
+        # dtype); only the resulting mask is kept in the compute dtype.
+        self._mask = np.divide(self._rng.random(x.shape) < keep, keep, dtype=self.compute_dtype)
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = np.asarray(grad_output, dtype=self.compute_dtype)
         if self._mask is None:
             return grad_output
         return grad_output * self._mask

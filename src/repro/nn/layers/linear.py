@@ -36,7 +36,7 @@ class Linear(Module):
         self._input: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         if x.shape[-1] != self.in_features:
             raise ValueError(
                 f"Linear expected last dimension {self.in_features}, got input shape {x.shape}"
@@ -50,7 +50,7 @@ class Linear(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input is None:
             raise RuntimeError("Linear.backward called before forward")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = np.asarray(grad_output, dtype=self.compute_dtype)
         flat_grad = grad_output.reshape(-1, self.out_features)
         flat_input = self._input.reshape(-1, self.in_features)
         self.weight.grad += flat_grad.T @ flat_input
@@ -67,11 +67,11 @@ class Flatten(Module):
         self._input_shape: Optional[Tuple[int, ...]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         self._input_shape = x.shape
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_shape is None:
             raise RuntimeError("Flatten.backward called before forward")
-        return np.asarray(grad_output, dtype=np.float64).reshape(self._input_shape)
+        return np.asarray(grad_output, dtype=self.compute_dtype).reshape(self._input_shape)

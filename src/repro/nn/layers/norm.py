@@ -44,7 +44,7 @@ class BatchNorm2d(Module):
         self._cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         if x.ndim != 4 or x.shape[1] != self.num_features:
             raise ValueError(
                 f"BatchNorm2d expected input of shape (N, {self.num_features}, H, W), got {x.shape}"
@@ -72,7 +72,7 @@ class BatchNorm2d(Module):
         if self._cache is None:
             raise RuntimeError("BatchNorm2d.backward called before forward")
         x_hat, std_inv, was_training = self._cache
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = np.asarray(grad_output, dtype=self.compute_dtype)
         gamma = self.weight.data.reshape(1, -1, 1, 1)
 
         self.weight.grad += (grad_output * x_hat).sum(axis=(0, 2, 3))
@@ -125,7 +125,7 @@ class GroupNorm(Module):
         self._cache: Optional[Tuple[np.ndarray, np.ndarray, Tuple[int, ...]]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         if x.ndim != 4 or x.shape[1] != self.num_channels:
             raise ValueError(
                 f"GroupNorm expected input of shape (N, {self.num_channels}, H, W), got {x.shape}"
@@ -144,7 +144,7 @@ class GroupNorm(Module):
         if self._cache is None:
             raise RuntimeError("GroupNorm.backward called before forward")
         x_hat, std_inv, shape = self._cache
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = np.asarray(grad_output, dtype=self.compute_dtype)
         n, c, h, w = shape
         group_channels = c // self.num_groups
 

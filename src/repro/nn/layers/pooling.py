@@ -28,7 +28,7 @@ class MaxPool2d(Module):
         return out_h, out_w
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         n, c, h, w = x.shape
         out_h, out_w = self.output_shape(h, w)
         # Pool each channel independently by treating channels as batch items.
@@ -45,8 +45,8 @@ class MaxPool2d(Module):
             raise RuntimeError("MaxPool2d.backward called before forward")
         argmax, cols_shape, x_shape = self._cache
         n, c, h, w = x_shape
-        grad_output = np.asarray(grad_output, dtype=np.float64)
-        grad_cols = np.zeros(cols_shape, dtype=np.float64)
+        grad_output = np.asarray(grad_output, dtype=self.compute_dtype)
+        grad_cols = np.zeros(cols_shape, dtype=grad_output.dtype)
         flat_grad = grad_output.reshape(n * c, 1, -1)
         np.put_along_axis(grad_cols, argmax[:, None, :], flat_grad, axis=1)
         grad_reshaped = col2im(
@@ -73,7 +73,7 @@ class AvgPool2d(Module):
         return out_h, out_w
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         n, c, h, w = x.shape
         out_h, out_w = self.output_shape(h, w)
         reshaped = x.reshape(n * c, 1, h, w)
@@ -88,7 +88,7 @@ class AvgPool2d(Module):
         cols_shape, x_shape = self._cache
         n, c, h, w = x_shape
         window = self.kernel_size * self.kernel_size
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = np.asarray(grad_output, dtype=self.compute_dtype)
         flat_grad = grad_output.reshape(n * c, 1, -1) / window
         grad_cols = np.broadcast_to(flat_grad, cols_shape).copy()
         grad_reshaped = col2im(

@@ -24,7 +24,7 @@ class PixelShuffle(Module):
         self._input_shape: Optional[Tuple[int, int, int, int]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         n, c, h, w = x.shape
         r = self.upscale_factor
         if c % (r * r) != 0:
@@ -43,7 +43,7 @@ class PixelShuffle(Module):
         n, c, h, w = self._input_shape
         r = self.upscale_factor
         c_out = c // (r * r)
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = np.asarray(grad_output, dtype=self.compute_dtype)
         grad = grad_output.reshape(n, c_out, h, r, w, r)
         grad = grad.transpose(0, 1, 3, 5, 2, 4)
         return grad.reshape(n, c, h, w)
@@ -60,7 +60,7 @@ class NearestUpsample2d(Module):
         self._input_shape: Optional[Tuple[int, int, int, int]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         self._input_shape = x.shape
         s = self.scale_factor
         return x.repeat(s, axis=2).repeat(s, axis=3)
@@ -70,6 +70,6 @@ class NearestUpsample2d(Module):
             raise RuntimeError("NearestUpsample2d.backward called before forward")
         n, c, h, w = self._input_shape
         s = self.scale_factor
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = np.asarray(grad_output, dtype=self.compute_dtype)
         grad = grad_output.reshape(n, c, h, s, w, s)
         return grad.sum(axis=(3, 5))

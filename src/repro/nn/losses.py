@@ -9,11 +9,26 @@ classification heads.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.nn.functional import log_sigmoid, sigmoid
+from repro.nn.workspace import Workspace
+
+
+def _as_float_pair(prediction: np.ndarray, target: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Cast ``(prediction, target)`` into the loss's compute dtype.
+
+    Losses follow the *prediction's* dtype: a float32 model produces float32
+    scores and the loss (and its gradient) stays float32; anything else —
+    the historical behavior included — runs in float64.
+    """
+    prediction = np.asarray(prediction)
+    if prediction.dtype not in (np.float32, np.float64):
+        prediction = prediction.astype(np.float64)
+    target = np.asarray(target, dtype=prediction.dtype)
+    return prediction, target
 
 
 class Loss:
@@ -37,18 +52,33 @@ class Loss:
 
 
 class MSELoss(Loss):
-    """Mean squared error, the paper's per-sample training objective."""
+    """Mean squared error, the paper's per-sample training objective.
+
+    The residual and its square are staged in a persistent workspace (the
+    batch shape is fixed across a run), so a training step allocates no loss
+    temporaries; the returned gradient is always a fresh array.
+    """
 
     def __init__(self):
         self._cache: Optional[tuple] = None
+        self._ws = Workspace()
 
     def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
-        prediction = np.asarray(prediction, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
+        prediction, target = _as_float_pair(prediction, target)
         self._validate(prediction, target)
-        diff = prediction - target
+        diff = self._ws.get("diff", prediction.shape, prediction.dtype)
+        if diff is None:
+            diff = prediction - target
+        else:
+            np.subtract(prediction, target, out=diff)
         self._cache = (diff,)
-        return float(np.mean(diff**2))
+        square = self._ws.get("square", prediction.shape, prediction.dtype)
+        if square is None:
+            return float(np.mean(diff**2))
+        # diff**2 with the integer exponent lowers to diff * diff, so the
+        # staged form is bit-identical to the expression form.
+        np.multiply(diff, diff, out=square)
+        return float(np.mean(square))
 
     def backward(self) -> np.ndarray:
         if self._cache is None:
@@ -65,8 +95,7 @@ class BCELoss(Loss):
         self._cache: Optional[tuple] = None
 
     def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
-        prediction = np.asarray(prediction, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
+        prediction, target = _as_float_pair(prediction, target)
         self._validate(prediction, target)
         clipped = np.clip(prediction, self.eps, 1.0 - self.eps)
         self._cache = (clipped, target)
@@ -95,8 +124,7 @@ class BCEWithLogitsLoss(Loss):
         self._cache: Optional[tuple] = None
 
     def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
-        logits = np.asarray(prediction, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
+        logits, target = _as_float_pair(prediction, target)
         self._validate(logits, target)
         log_p = log_sigmoid(logits)
         log_not_p = log_sigmoid(-logits)
@@ -137,8 +165,7 @@ class FocalLoss(Loss):
         self._cache: Optional[tuple] = None
 
     def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
-        logits = np.asarray(prediction, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
+        logits, target = _as_float_pair(prediction, target)
         self._validate(logits, target)
         probs = sigmoid(logits)
         # p_t is the model's probability of the true class.
@@ -178,8 +205,7 @@ class DiceLoss(Loss):
         self._cache: Optional[tuple] = None
 
     def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
-        probs = np.asarray(prediction, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
+        probs, target = _as_float_pair(prediction, target)
         self._validate(probs, target)
         intersection = float((probs * target).sum())
         denominator = float(probs.sum() + target.sum())
@@ -213,8 +239,7 @@ class WeightedMSELoss(Loss):
         self._cache: Optional[tuple] = None
 
     def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
-        prediction = np.asarray(prediction, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
+        prediction, target = _as_float_pair(prediction, target)
         self._validate(prediction, target)
         weights = np.where(target > 0.5, self.pos_weight, 1.0)
         diff = prediction - target

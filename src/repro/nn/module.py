@@ -15,6 +15,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.nn.dtypes import resolve_compute_dtype
 from repro.nn.parameter import Parameter
 
 
@@ -25,6 +26,13 @@ class Module:
     attributes; the base class intercepts those assignments and registers them
     so that ``parameters()``, ``state_dict()`` and friends can traverse the
     full hierarchy without any bookkeeping in the subclasses.
+
+    Every module carries a **compute dtype** (default ``float64``): the
+    floating dtype its forward/backward arithmetic runs in.
+    :meth:`set_compute_dtype` switches the whole hierarchy — parameters,
+    gradients, and buffers included — in place; the ``state_dict`` /
+    ``load_state_dict`` boundary always speaks ``float64`` regardless (see
+    :mod:`repro.nn.dtypes`).
     """
 
     def __init__(self):
@@ -32,6 +40,7 @@ class Module:
         object.__setattr__(self, "_modules", OrderedDict())
         object.__setattr__(self, "_buffers", OrderedDict())
         object.__setattr__(self, "training", True)
+        object.__setattr__(self, "_compute_dtype", np.dtype(np.float64))
 
     # -- registration -----------------------------------------------------
     def __setattr__(self, name: str, value) -> None:
@@ -49,16 +58,21 @@ class Module:
 
     def register_buffer(self, name: str, array: np.ndarray) -> np.ndarray:
         """Register a non-trainable persistent array (e.g. BatchNorm running stats)."""
-        array = np.asarray(array, dtype=np.float64)
+        array = np.asarray(array, dtype=self.compute_dtype)
         self._buffers[name] = array
         object.__setattr__(self, name, array)
         return array
 
     def set_buffer(self, name: str, array: np.ndarray) -> None:
-        """Replace a registered buffer's contents (keeps registration in sync)."""
+        """Replace a registered buffer's contents (keeps registration in sync).
+
+        Contents are kept in the module's compute dtype, so a float32
+        model's running statistics never creep back up to float64 (which
+        would silently upcast every downstream activation).
+        """
         if name not in self._buffers:
             raise KeyError(f"unknown buffer {name!r}")
-        array = np.asarray(array, dtype=np.float64)
+        array = np.asarray(array, dtype=self.compute_dtype)
         self._buffers[name] = array
         object.__setattr__(self, name, array)
 
@@ -114,6 +128,38 @@ class Module:
         """Total number of trainable scalar parameters."""
         return sum(param.size for param in self.parameters())
 
+    # -- compute dtype --------------------------------------------------------
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """The floating dtype this module's arithmetic runs in."""
+        return getattr(self, "_compute_dtype", np.dtype(np.float64))
+
+    def set_compute_dtype(self, dtype) -> "Module":
+        """Switch the whole hierarchy to ``dtype`` (float64 / float32), in place.
+
+        Casts every parameter (with its gradient buffer) and every
+        registered buffer, and drops any per-layer workspaces so scratch is
+        re-grown in the new dtype.  A no-op when the hierarchy is already in
+        ``dtype``, so callers may invoke it unconditionally on a hot path.
+        """
+        dtype = resolve_compute_dtype(dtype)
+        for _, module in self.named_modules():
+            if module.compute_dtype == dtype:
+                continue
+            object.__setattr__(module, "_compute_dtype", dtype)
+            for param in module._parameters.values():
+                param.to_dtype(dtype)
+            for name in list(module._buffers):
+                buffer = module._buffers[name]
+                if buffer.dtype != dtype:
+                    cast = buffer.astype(dtype)
+                    module._buffers[name] = cast
+                    object.__setattr__(module, name, cast)
+            workspace = getattr(module, "_ws", None)
+            if workspace is not None:
+                workspace.clear()
+        return self
+
     # -- training state ------------------------------------------------------
     def train(self, mode: bool = True) -> "Module":
         """Set the module (and all children) to training or evaluation mode."""
@@ -133,12 +179,18 @@ class Module:
 
     # -- state dict -----------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """Return a flat ``name -> array copy`` mapping of parameters and buffers."""
+        """Return a flat ``name -> array copy`` mapping of parameters and buffers.
+
+        States are always ``float64``, whatever the module's compute dtype:
+        everything that leaves the model — aggregation, wire codecs,
+        checkpoints — speaks float64, and a float32 model casts up exactly
+        once here (and back down once in :meth:`load_state_dict`).
+        """
         state: Dict[str, np.ndarray] = OrderedDict()
         for name, param in self.named_parameters():
-            state[name] = param.data.copy()
+            state[name] = param.data.astype(np.float64, copy=True)
         for name, buf in self.named_buffers():
-            state[name] = np.array(buf, copy=True)
+            state[name] = np.array(buf, dtype=np.float64, copy=True)
         return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:

@@ -13,11 +13,16 @@ class Parameter:
     Attributes
     ----------
     data:
-        The parameter values, a ``float64`` NumPy array.
+        The parameter values.  Parameters are born ``float64`` (matching
+        initialization, states, and checkpoints); a model switched to the
+        float32 compute dtype (:meth:`repro.nn.Module.set_compute_dtype`)
+        carries them — and the matching ``grad`` buffers — as ``float32``
+        for the duration of local training.
     grad:
         Accumulated gradient of the loss with respect to ``data``.  It is
-        always allocated with the same shape as ``data`` and reset to zero by
-        :meth:`zero_grad` (called by optimizers / modules between steps).
+        always allocated with the same shape and dtype as ``data`` and reset
+        to zero by :meth:`zero_grad` (called by optimizers / modules between
+        steps).
     name:
         Optional dotted name assigned when the parameter is registered in a
         module hierarchy; used for state dicts and per-parameter policies
@@ -28,6 +33,13 @@ class Parameter:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad = np.zeros_like(self.data)
         self.name = name
+
+    def to_dtype(self, dtype) -> None:
+        """Cast ``data`` and ``grad`` to ``dtype`` in place (no-op when equal)."""
+        dtype = np.dtype(dtype)
+        if self.data.dtype != dtype:
+            self.data = self.data.astype(dtype)
+            self.grad = self.grad.astype(dtype)
 
     @property
     def shape(self):
@@ -42,14 +54,19 @@ class Parameter:
         self.grad.fill(0.0)
 
     def copy_(self, values: np.ndarray) -> None:
-        """Copy ``values`` into the parameter in place (shape-checked)."""
-        values = np.asarray(values, dtype=np.float64)
+        """Copy ``values`` into the parameter in place (shape-checked).
+
+        Values are cast to the parameter's own dtype: this is the single
+        downcast a float32 model performs when loading a float64 state
+        (``load_state_dict`` is the compute-dtype boundary).
+        """
+        values = np.asarray(values)
         if values.shape != self.data.shape:
             raise ValueError(
                 f"cannot copy array of shape {values.shape} into parameter "
                 f"{self.name or '<unnamed>'} of shape {self.data.shape}"
             )
-        np.copyto(self.data, values)
+        np.copyto(self.data, values, casting="same_kind")
 
     def clone(self) -> np.ndarray:
         """Return a defensive copy of the parameter values."""

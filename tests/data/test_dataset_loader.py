@@ -167,3 +167,118 @@ class TestDataLoader:
     def test_invalid_batch_size(self):
         with pytest.raises(ValueError):
             DataLoader(make_dataset(), batch_size=0)
+
+
+class TestPackedArrays:
+    def test_matches_per_sample_stacking(self):
+        dataset = make_dataset()
+        features, labels = dataset.packed_arrays()
+        np.testing.assert_array_equal(
+            features, np.stack([dataset[i].features for i in range(len(dataset))], axis=0)
+        )
+        np.testing.assert_array_equal(
+            labels, np.stack([dataset[i].label for i in range(len(dataset))], axis=0)
+        )
+
+    def test_cached_and_read_only(self):
+        dataset = make_dataset()
+        first = dataset.packed_arrays()
+        assert dataset.packed_arrays()[0] is first[0]
+        assert not first[0].flags.writeable
+        assert not first[1].flags.writeable
+
+    def test_dtype_variants_cached_separately(self):
+        dataset = make_dataset()
+        f32, l32 = dataset.packed_arrays(np.float32)
+        assert f32.dtype == np.float32 and l32.dtype == np.float32
+        assert dataset.packed_arrays(np.float32)[0] is f32
+        np.testing.assert_allclose(f32, dataset.packed_arrays()[0].astype(np.float32))
+
+    def test_add_invalidates_cache(self):
+        dataset = make_dataset()
+        before = dataset.packed_arrays()[0]
+        dataset.add(make_sample(design="d9", seed=99))
+        after = dataset.packed_arrays()[0]
+        assert after.shape[0] == before.shape[0] + 1
+
+    def test_arrays_accessors_return_writable_copies(self):
+        dataset = make_dataset()
+        features = dataset.features_array()
+        features[:] = 0.0
+        np.testing.assert_array_equal(dataset.features_array(), dataset.packed_arrays()[0])
+        assert dataset.features_array().flags.writeable
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            RoutabilityDataset().packed_arrays()
+
+
+class TestCollateParity:
+    """The take-based collation must match the historical stack-based path."""
+
+    def test_collate_matches_stacked_reference(self):
+        dataset = make_dataset()
+        loader = DataLoader(dataset, batch_size=5)
+        indices = np.array([7, 0, 3, 11, 5])
+        features, labels = loader._collate(indices)
+        ref_features, ref_labels = loader._collate_stacked(indices)
+        np.testing.assert_array_equal(features, ref_features)
+        np.testing.assert_array_equal(labels, ref_labels)
+        assert features.dtype == ref_features.dtype == np.float64
+
+    def test_full_epoch_matches_stacked_reference(self):
+        dataset = make_dataset()
+        fast = DataLoader(dataset, batch_size=5, shuffle=True, rng=np.random.default_rng(3))
+        from repro.nn.workspace import workspaces_disabled
+
+        slow = DataLoader(dataset, batch_size=5, shuffle=True, rng=np.random.default_rng(3))
+        fast_batches = [(f.copy(), y.copy()) for f, y in fast]
+        with workspaces_disabled():
+            slow_batches = list(slow)
+        assert len(fast_batches) == len(slow_batches)
+        for (fa, ya), (fb, yb) in zip(fast_batches, slow_batches):
+            np.testing.assert_array_equal(fa, fb)
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_sample_batch_matches_stacked_reference(self):
+        dataset = make_dataset()
+        fast = DataLoader(dataset, batch_size=4, rng=np.random.default_rng(9))
+        from repro.nn.workspace import workspaces_disabled
+
+        slow = DataLoader(dataset, batch_size=4, rng=np.random.default_rng(9))
+        f_fast, y_fast = fast.sample_batch()
+        with workspaces_disabled():
+            f_slow, y_slow = slow.sample_batch()
+        np.testing.assert_array_equal(f_fast, f_slow)
+        np.testing.assert_array_equal(y_fast, y_slow)
+
+    def test_batches_reuse_buffers(self):
+        dataset = make_dataset()
+        loader = DataLoader(dataset, batch_size=6, shuffle=False)
+        iterator = iter(loader)
+        first_features, _ = next(iterator)
+        snapshot = first_features.copy()
+        second_features, _ = next(iterator)
+        # Full-size batches share one persistent buffer: the first batch's
+        # view now shows the second batch's data (the documented contract —
+        # a batch is valid until the next draw from the same loader).
+        assert second_features.base is first_features.base or second_features is first_features
+        assert not np.array_equal(first_features, snapshot)
+
+    def test_partial_final_batch(self):
+        dataset = make_dataset()  # 12 samples
+        loader = DataLoader(dataset, batch_size=5, shuffle=False)
+        sizes = [features.shape[0] for features, _ in loader]
+        assert sizes == [5, 5, 2]
+        *_, (last_features, last_labels) = iter(loader)
+        np.testing.assert_array_equal(last_features, dataset.packed_arrays()[0][10:])
+        assert last_labels.shape == (2, 1, 8, 8)
+
+    def test_float32_batches(self):
+        dataset = make_dataset()
+        loader = DataLoader(dataset, batch_size=4, shuffle=False, dtype=np.float32)
+        features, labels = next(iter(loader))
+        assert features.dtype == np.float32 and labels.dtype == np.float32
+        np.testing.assert_array_equal(
+            features, dataset.packed_arrays(np.float32)[0][:4]
+        )

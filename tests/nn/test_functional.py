@@ -98,6 +98,8 @@ class TestGatherIndexCaching:
     """The im2col/col2im index arrays are memoized per geometry key."""
 
     def test_repeated_calls_hit_the_cache(self):
+        from repro.nn.workspace import workspaces_disabled
+
         F._im2col_indices.cache_clear()
         F._col2im_flat_index.cache_clear()
         x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
@@ -107,10 +109,16 @@ class TestGatherIndexCaching:
         info = F._im2col_indices.cache_info()
         assert info.hits >= 1 and info.misses == 1
         cols = np.random.default_rng(1).normal(size=first.shape)
-        F.col2im(cols, x.shape, 3, 3, stride=1, padding=1)
-        F.col2im(cols, x.shape, 3, 3, stride=1, padding=1)
+        # The bincount reference path (workspaces disabled) memoizes the
+        # flattened scatter index; the tap-accumulation engine path must
+        # reproduce it bit for bit.
+        with workspaces_disabled():
+            reference = F.col2im(cols, x.shape, 3, 3, stride=1, padding=1)
+            F.col2im(cols, x.shape, 3, 3, stride=1, padding=1)
         flat_info = F._col2im_flat_index.cache_info()
         assert flat_info.hits >= 1 and flat_info.misses == 1
+        engine = F.col2im(cols, x.shape, 3, 3, stride=1, padding=1)
+        np.testing.assert_array_equal(engine, reference)
 
     def test_cached_indices_are_read_only(self):
         for index in F._im2col_indices(2, 3, 3, 4, 4, 1, 1):
