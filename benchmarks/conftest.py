@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import tracemalloc
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
@@ -62,6 +63,55 @@ def write_records(name: str, records: Sequence[Dict[str, object]]) -> Path:
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path
+
+
+def rss_bytes() -> Optional[int]:
+    """Resident set size of this process, or ``None`` where unsupported."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as statm:
+            pages = int(statm.read().split()[1])
+        return pages * os.sysconf("SC_PAGESIZE")
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+class MemoryProbe:
+    """Peak-allocation measurement around one benchmark region.
+
+    Combines ``tracemalloc`` (exact Python-level peak, the quantity the
+    population-scale assertions compare across cohort sizes) with an RSS
+    snapshot (the whole-process view, informational).  Use as a context
+    manager and read :meth:`record` afterwards; the numbers merge into the
+    benchmark's JSON records via :func:`write_records`.
+    """
+
+    def __init__(self):
+        self.peak_bytes: Optional[int] = None
+        self.rss_before: Optional[int] = None
+        self.rss_after: Optional[int] = None
+        self._owns_tracing = False
+
+    def __enter__(self) -> "MemoryProbe":
+        self.rss_before = rss_bytes()
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracing = True
+        tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _, self.peak_bytes = tracemalloc.get_traced_memory()
+        if self._owns_tracing:
+            tracemalloc.stop()
+        self.rss_after = rss_bytes()
+
+    def record(self) -> Dict[str, object]:
+        """The measurement fields to merge into a benchmark record."""
+        return {
+            "peak_traced_bytes": self.peak_bytes,
+            "rss_before_bytes": self.rss_before,
+            "rss_after_bytes": self.rss_after,
+        }
 
 
 def run_table_experiment(

@@ -45,6 +45,7 @@ from repro.eda.global_router import GlobalRouterConfig, route_placement
 from repro.eda.placement import PlacementConfig, Placer
 from repro.eda.quality import placement_quality, routing_quality
 from repro.fl import (
+    AGGREGATION_CHOICES,
     ALGORITHMS,
     AVAILABILITY_CHOICES,
     COMPRESSION_CHOICES,
@@ -279,6 +280,25 @@ def _add_reproduce(subparsers) -> None:
         default=2,
         help="updates buffered per aggregation for --round-policy fedbuff (default 2)",
     )
+    parser.add_argument(
+        "--population",
+        type=int,
+        default=None,
+        help="virtualize the roster to this many lazily constructed clients "
+        "(each reusing one base data partition round-robin); requires "
+        "--clients-per-round or --participation so only the sampled cohort "
+        "is ever built",
+    )
+    parser.add_argument(
+        "--aggregation",
+        choices=AGGREGATION_CHOICES,
+        default="gemv",
+        help="server aggregation mode: gemv (historical (K,P) matrix), "
+        "streaming (O(P) running fold, releases each update after folding), "
+        "sharded (parallel sub-aggregators with a deterministic merge); "
+        "streaming/sharded are bit-identical to gemv for cohorts up to the "
+        "parity limit",
+    )
     parser.set_defaults(handler=_cmd_reproduce)
 
 
@@ -320,6 +340,9 @@ def _cmd_reproduce(args) -> int:
             deadline=args.deadline,
             over_selection=args.over_selection,
             buffer_size=args.buffer_size,
+        ).with_population(
+            population=args.population,
+            aggregation=args.aggregation,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -348,6 +371,20 @@ def _cmd_reproduce(args) -> int:
             "reduced-precision fast path (parameter states, aggregation, and "
             "checkpoints stay float64)"
         )
+    if config.population is not None:
+        text += f"\n\nPopulation-scale federation (--population {config.population}):\n"
+        for outcome in result.outcomes:
+            summary = outcome.population
+            if summary is None:
+                continue
+            text += (
+                f"  {outcome.algorithm}: population={summary['population']} "
+                f"aggregation={summary['aggregation']} "
+                f"eager_before_sampling={summary['eager_clients_before_sampling']} "
+                f"peak_materialized={summary['peak_materialized']} "
+                f"total_materializations={summary['total_materializations']} "
+                f"folded_updates={summary['folded_updates']}\n"
+            )
     print(text)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.data.clients import ClientSpec, CorpusConfig, TABLE2_CLIENTS
+from repro.fl.aggregation import AGGREGATION_CHOICES
 from repro.fl.config import FLConfig
 from repro.fl.execution import BACKENDS as EXECUTION_BACKENDS
 from repro.fl.scheduling import (
@@ -38,6 +39,10 @@ from repro.models.registry import available_models
 
 #: Sentinel for "keep the current value" in :meth:`ExperimentConfig.with_execution`.
 _KEEP = object()
+
+#: Global-state algorithms that can train over a virtualized population
+#: (lazy client construction; one shared global model, no per-client state).
+POPULATION_ALGORITHMS: Tuple[str, ...] = ("fedavg", "fedprox", "fedavgm", "dp_fedprox")
 
 #: The algorithm rows of Tables 3-5, in the paper's order.
 TABLE_ALGORITHMS: Tuple[str, ...] = (
@@ -120,6 +125,8 @@ class ExperimentConfig:
     deadline: Optional[float] = None
     over_selection: float = 1.0
     buffer_size: int = 2
+    population: Optional[int] = None
+    aggregation: str = "gemv"
 
     def __post_init__(self):
         if self.model.lower() not in available_models():
@@ -215,6 +222,27 @@ class ExperimentConfig:
             )
         if self.buffer_size < 1:
             raise ValueError(f"buffer_size must be positive, got {self.buffer_size}")
+        if self.aggregation not in AGGREGATION_CHOICES:
+            raise ValueError(
+                f"unknown aggregation mode {self.aggregation!r}; "
+                f"available: {AGGREGATION_CHOICES}"
+            )
+        if self.population is not None:
+            if self.population < 1:
+                raise ValueError(f"population must be positive, got {self.population}")
+            if self.participation is None and self.clients_per_round is None:
+                raise ValueError(
+                    "a population needs partial participation; set clients_per_round "
+                    "(or participation) so the sampler selects a per-round cohort"
+                )
+            unsupported = [
+                name for name in self.algorithms if name not in POPULATION_ALGORITHMS
+            ]
+            if unsupported:
+                raise ValueError(
+                    f"population runs support only the global-state algorithms "
+                    f"{sorted(POPULATION_ALGORITHMS)}; drop {unsupported}"
+                )
 
     @property
     def scheduling_requested(self) -> bool:
@@ -317,6 +345,26 @@ class ExperimentConfig:
             deadline=self.deadline if deadline is _KEEP else deadline,
             over_selection=self.over_selection if over_selection is _KEEP else over_selection,
             buffer_size=self.buffer_size if buffer_size is _KEEP else buffer_size,
+        )
+
+    def with_population(
+        self,
+        population: object = _KEEP,
+        aggregation: object = _KEEP,
+    ) -> "ExperimentConfig":
+        """A copy of this configuration with different population options.
+
+        ``population`` virtualizes the client roster to that many lazily
+        constructed clients (each reusing one of the base data partitions
+        round-robin); ``aggregation`` selects the server fold
+        (``gemv`` / ``streaming`` / ``sharded`` — see
+        :mod:`repro.fl.aggregation`).  Omitted options keep their current
+        value; pass ``None`` as ``population`` to restore the eager roster.
+        """
+        return replace(
+            self,
+            population=self.population if population is _KEEP else population,
+            aggregation=self.aggregation if aggregation is _KEEP else aggregation,
         )
 
     def with_model(self, model: str, **model_kwargs) -> "ExperimentConfig":

@@ -12,13 +12,16 @@ from repro.fl import (
     Channel,
     ChannelSummary,
     CheckpointManager,
+    ClientDirectory,
     EvaluationRow,
     ExecutionBackend,
     FederatedClient,
+    FederatedServer,
     RoundScheduler,
     SchedulingSummary,
     SeededModelFactory,
     TrainingResult,
+    create_aggregator,
     create_algorithm,
     create_backend,
     create_channel,
@@ -61,6 +64,10 @@ class AlgorithmOutcome:
     #: Participation / simulated-time / staleness totals (None when the run
     #: used no round scheduler, or the algorithm ignores scheduling).
     scheduling: Optional[SchedulingSummary] = None
+    #: Population-scale accounting (None without a virtualized population):
+    #: aggregation mode, eager clients before sampling, peak concurrently
+    #: materialized clients, total materializations/releases, folded updates.
+    population: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -107,6 +114,7 @@ class ExperimentRunner:
         self.config = config
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._client_data: Optional[List[ClientData]] = None
+        self._directory: Optional[ClientDirectory] = None
 
     # -- corpus / clients ------------------------------------------------------
     def client_data(self) -> List[ClientData]:
@@ -128,13 +136,37 @@ class ExperimentRunner:
         )
         return SeededModelFactory(builder, base_seed=self.config.seed)
 
-    def federated_clients(self) -> List[FederatedClient]:
-        """Wrap every client's data into a federated client."""
+    def client_directory(self) -> Optional[ClientDirectory]:
+        """The lazy population roster (``None`` without ``config.population``).
+
+        Cached: every algorithm of an experiment trains over the same
+        directory, so the materialization counters accumulate run-wide.
+        """
+        if self.config.population is None:
+            return None
+        if self._directory is None:
+            self._directory = ClientDirectory(
+                self.client_data(),
+                self.model_factory(),
+                self.config.fl,
+                population=self.config.population,
+            )
+        return self._directory
+
+    def federated_clients(self) -> List:
+        """The client roster: eager clients, or lazy handles under a population."""
+        directory = self.client_directory()
+        if directory is not None:
+            return list(directory.handles)
         factory = self.model_factory()
         return [
             FederatedClient.from_client_data(data, factory, self.config.fl)
             for data in self.client_data()
         ]
+
+    def federated_server(self) -> FederatedServer:
+        """A fresh server carrying the configured aggregation mode."""
+        return FederatedServer(aggregator=create_aggregator(self.config.aggregation))
 
     # -- execution ----------------------------------------------------------------
     def execution_backend(self) -> ExecutionBackend:
@@ -205,12 +237,18 @@ class ExperimentRunner:
         backend = backend if backend is not None else self.execution_backend()
         channel = self.transport_channel()
         scheduler = self.round_scheduler()
+        server = self.federated_server()
+        directory = self.client_directory()
+        # The witness the population smoke test asserts: nothing has been
+        # built before the sampler selected anything.
+        eager_before = directory.eager_clients if directory is not None else None
         try:
             algorithm = create_algorithm(
                 name,
                 clients,
                 self.model_factory(),
                 self.config.fl,
+                server=server,
                 backend=backend,
                 checkpoint=self._checkpoint_manager(name),
                 channel=channel,
@@ -222,10 +260,31 @@ class ExperimentRunner:
         finally:
             if owns_backend:
                 backend.close()
-        evaluation = evaluate_result(training, clients)
+        if directory is not None:
+            # Evaluating all 1e4+ population members would materialize every
+            # one; the first base-partition's worth of handles covers each
+            # distinct dataset exactly once (population client k reuses
+            # partition k % B), so they are the evaluation representatives.
+            representatives = clients[: directory.base_size()]
+            evaluation = evaluate_result(training, representatives)
+            for handle in representatives:
+                handle.release()
+        else:
+            evaluation = evaluate_result(training, clients)
         # create_algorithm drops the scheduler for algorithms that ignore
         # scheduling; report only what actually drove the run.
         effective_scheduler = getattr(algorithm, "scheduler", None)
+        population_summary = None
+        if directory is not None:
+            population_summary = {
+                "population": directory.population,
+                "aggregation": server.aggregator.name,
+                "eager_clients_before_sampling": eager_before,
+                "peak_materialized": directory.peak_materialized,
+                "total_materializations": directory.total_materializations,
+                "total_releases": directory.total_releases,
+                "folded_updates": server.folded_updates,
+            }
         return AlgorithmOutcome(
             algorithm=name,
             evaluation=evaluation,
@@ -233,6 +292,7 @@ class ExperimentRunner:
             runtime_seconds=runtime,
             communication=channel.summary() if channel is not None else None,
             scheduling=effective_scheduler.summary() if effective_scheduler is not None else None,
+            population=population_summary,
         )
 
     def run(self, algorithms: Optional[Sequence[str]] = None) -> ExperimentResult:

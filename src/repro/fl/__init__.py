@@ -71,7 +71,19 @@ from repro.fl.algorithms import (
     TrainingResult,
     normalization_parameter_names,
 )
-from repro.fl.client import FederatedClient
+from repro.fl.aggregation import (
+    AGGREGATION_CHOICES,
+    Aggregator,
+    GemvAggregator,
+    ShardedAggregator,
+    StreamingAccumulator,
+    StreamingAggregator,
+    StreamingDeltaAccumulator,
+    UpdateAccumulator,
+    create_aggregator,
+)
+from repro.fl.client import FederatedClient, initial_rng_state
+from repro.fl.population import ClientDirectory, ClientHandle, VirtualClientSpec
 from repro.fl.communication import (
     BYTES_PER_FLOAT32,
     CommunicationReport,
@@ -203,6 +215,7 @@ def create_algorithm(
     checkpoint: Optional[CheckpointManager] = None,
     channel: Optional[Channel] = None,
     scheduler: Optional[RoundScheduler] = None,
+    server: Optional[FederatedServer] = None,
 ) -> FederatedAlgorithm:
     """Instantiate a training algorithm from the registry by name.
 
@@ -212,6 +225,10 @@ def create_algorithm(
         A key of :data:`ALGORITHMS` (case-insensitive).
     clients / model_factory / config:
         Forwarded to the algorithm constructor.
+    server:
+        Optional :class:`FederatedServer` carrying the aggregation mode
+        (gemv / streaming / sharded — see :mod:`repro.fl.aggregation`);
+        defaults to a fresh GEMV server.
     backend:
         Execution backend running the per-round client updates; defaults to
         :class:`SerialBackend`.  Pass :class:`ProcessPoolBackend` (or use
@@ -252,6 +269,7 @@ def create_algorithm(
         clients,
         model_factory,
         config,
+        server=server,
         backend=backend,
         checkpoint=checkpoint,
         channel=channel,
@@ -277,6 +295,19 @@ __all__ = [
     "PAPER_ASSIGNED_CLUSTERS",
     "FederatedClient",
     "FederatedServer",
+    "initial_rng_state",
+    "ClientDirectory",
+    "ClientHandle",
+    "VirtualClientSpec",
+    "AGGREGATION_CHOICES",
+    "Aggregator",
+    "UpdateAccumulator",
+    "GemvAggregator",
+    "StreamingAggregator",
+    "StreamingAccumulator",
+    "StreamingDeltaAccumulator",
+    "ShardedAggregator",
+    "create_aggregator",
     "LocalTrainer",
     "StepStatistics",
     "predict_dataset",

@@ -173,35 +173,25 @@ class FederatedAlgorithm:
         """A fresh global model initialization (packed into a flat buffer)."""
         return flat_model_state(self.model_factory())
 
-    def map_client_updates(
+    def _prepare_client_tasks(
         self,
         states: Union[State, Sequence[State]],
-        steps: Optional[int] = None,
-        proximal_mu: Optional[float] = None,
-        op: str = "train",
-        transport: str = TRANSPORT_BOTH,
-        upload_names: Optional[Sequence[str]] = None,
-        cohort: Optional[Sequence[int]] = None,
-    ) -> List[ClientUpdate]:
-        """Run one client-side pass over the participating clients.
+        steps: Optional[int],
+        proximal_mu: Optional[float],
+        op: str,
+        transport: str,
+        upload_names: Optional[Sequence[str]],
+        cohort: Optional[Sequence[int]],
+    ):
+        """Validate one client pass and build its tasks.
 
-        ``cohort`` is the round's participating roster indices (from a
-        :class:`~repro.fl.scheduling.RoundScheduler` plan); ``None`` means
-        every client participates — the pre-scheduling behavior, bit for
-        bit.  ``states`` is either a single global :data:`State` broadcast
-        to every participant or a sequence aligned with the participants
-        (one personalized starting state each).  Results come back in
-        participant order.
-
-        ``transport`` says which directions of this pass are real
-        communication when a channel is attached: ``"both"`` (a normal
-        round: broadcast down, upload back), ``"down"`` (broadcast only —
-        e.g. fine-tuning, whose personalized result stays on the client),
-        or ``"none"`` (no wire at all — e.g. locally created initial
-        states).  ``upload_names`` restricts the upload to a subset of the
-        state (FedBN / FedProx-LG ship only their shared part; the private
-        part returns untouched).  Without a channel both flags are
-        irrelevant: states move raw.
+        Returns ``(tasks, finish)`` where ``finish(update)`` completes one
+        returned update in the coordinating process (decoding backend-encoded
+        payloads; applying delta references and error feedback; recording
+        measured bytes) — a no-op without a channel.  Shared by the batch
+        (:meth:`map_client_updates`) and streaming
+        (:meth:`iter_client_updates`) entry points so both dispatch — and
+        account transport bytes — identically.
         """
         if transport not in _TRANSPORT_MODES:
             raise ValueError(
@@ -236,7 +226,11 @@ class FederatedAlgorithm:
                 )
                 for index, state in zip(indices, per_client)
             ]
-            return self.backend.map(tasks)
+
+            def finish(update: ClientUpdate) -> None:
+                return None
+
+            return tasks, finish
 
         wire_tasks = self.channel.broadcast(
             per_client,
@@ -254,12 +248,9 @@ class FederatedAlgorithm:
             )
             for index, wire in zip(indices, wire_tasks)
         ]
-        updates = self.backend.map(tasks)
-        if transport == TRANSPORT_BOTH:
-            # Finish every upload in client order in the coordinating process
-            # (decode backend-encoded payloads; apply delta references and
-            # error feedback; record measured bytes).
-            for update in updates:
+
+        def finish(update: ClientUpdate) -> None:
+            if transport == TRANSPORT_BOTH:
                 update.state = self.channel.receive(
                     update.client_id,
                     state=update.state,
@@ -267,7 +258,71 @@ class FederatedAlgorithm:
                     upload_names=upload_names,
                 )
                 update.payload = None
+
+        return tasks, finish
+
+    def map_client_updates(
+        self,
+        states: Union[State, Sequence[State]],
+        steps: Optional[int] = None,
+        proximal_mu: Optional[float] = None,
+        op: str = "train",
+        transport: str = TRANSPORT_BOTH,
+        upload_names: Optional[Sequence[str]] = None,
+        cohort: Optional[Sequence[int]] = None,
+    ) -> List[ClientUpdate]:
+        """Run one client-side pass over the participating clients.
+
+        ``cohort`` is the round's participating roster indices (from a
+        :class:`~repro.fl.scheduling.RoundScheduler` plan); ``None`` means
+        every client participates — the pre-scheduling behavior, bit for
+        bit.  ``states`` is either a single global :data:`State` broadcast
+        to every participant or a sequence aligned with the participants
+        (one personalized starting state each).  Results come back in
+        participant order.
+
+        ``transport`` says which directions of this pass are real
+        communication when a channel is attached: ``"both"`` (a normal
+        round: broadcast down, upload back), ``"down"`` (broadcast only —
+        e.g. fine-tuning, whose personalized result stays on the client),
+        or ``"none"`` (no wire at all — e.g. locally created initial
+        states).  ``upload_names`` restricts the upload to a subset of the
+        state (FedBN / FedProx-LG ship only their shared part; the private
+        part returns untouched).  Without a channel both flags are
+        irrelevant: states move raw.
+        """
+        tasks, finish = self._prepare_client_tasks(
+            states, steps, proximal_mu, op, transport, upload_names, cohort
+        )
+        updates = self.backend.map(tasks)
+        for update in updates:
+            finish(update)
         return updates
+
+    def iter_client_updates(
+        self,
+        states: Union[State, Sequence[State]],
+        steps: Optional[int] = None,
+        proximal_mu: Optional[float] = None,
+        op: str = "train",
+        transport: str = TRANSPORT_BOTH,
+        upload_names: Optional[Sequence[str]] = None,
+        cohort: Optional[Sequence[int]] = None,
+    ):
+        """Streaming variant of :meth:`map_client_updates`.
+
+        Yields each :class:`ClientUpdate` in participant order as soon as
+        its computation completes (via the backend's ``imap``), so a
+        streaming server can fold — and release — update ``i`` while
+        updates ``i+1..`` are still training.  Values are identical to the
+        batch entry point; only the delivery is incremental.
+        """
+        tasks, finish = self._prepare_client_tasks(
+            states, steps, proximal_mu, op, transport, upload_names, cohort
+        )
+        for update in self.backend.imap(tasks):
+            finish(update)
+            yield update
 
     # -- checkpointing ------------------------------------------------------------
     def checkpoint_fingerprint(self) -> Dict[str, object]:
@@ -304,6 +359,12 @@ class FederatedAlgorithm:
             # (float64) runs omit the key so pre-engine checkpoints stay
             # resumable.
             fingerprint["compute_dtype"] = self.config.compute_dtype
+        if self.server.aggregator.name != "gemv":
+            # Streaming/sharded runs fold in a different summation order
+            # past the parity limit; mixing modes across a resume could
+            # silently blend trajectories.  GEMV runs omit the key so
+            # checkpoints from before the aggregation tier stay resumable.
+            fingerprint["aggregation"] = self.server.aggregator.name
         fingerprint.update({
             "algorithm": self.name,
             "seed": self.config.seed,
@@ -414,20 +475,64 @@ class FederatedAlgorithm:
         """Proximal strength used for the per-round client pass."""
         return self.config.proximal_mu
 
+    def _release_client(self, client_index: int) -> None:
+        """Free a virtual client's materialized resources (no-op for eager clients)."""
+        release = getattr(self.clients[client_index], "release", None)
+        if release is not None:
+            release()
+
+    def _begin_fold(self, global_state: State):
+        """A fresh accumulator for one round's server aggregation."""
+        return self.server.accumulator()
+
+    def _fold_update(self, accumulator, global_state: State, update: ClientUpdate) -> None:
+        """Fold one kept update into the round's accumulator.
+
+        The per-algorithm per-update server step: FedProx folds the raw
+        state weighted by sample count, DP-FedProx privatizes it first.
+        Called in arrival order — which equals cohort order on every
+        backend — so sequential server-side RNG streams (DP noise) are
+        backend- and mode-independent.
+        """
+        raise NotImplementedError(
+            f"{self.__class__.__name__} does not implement the scheduled round loop"
+        )
+
+    def _finalize_round(
+        self, round_index: int, global_state: State, accumulator
+    ) -> "tuple[State, Dict[str, object]]":
+        """Turn the round's accumulator into the new global state.
+
+        Implementations read ``accumulator.result()`` (when any update was
+        folded — the accumulator may be empty when every selected client
+        missed the deadline, leaving the global state unchanged), persist
+        the round via :meth:`save_checkpoint`, and return the new global
+        state plus extras for the round record.
+        """
+        raise NotImplementedError(
+            f"{self.__class__.__name__} does not implement the scheduled round loop"
+        )
+
     def _global_round(
         self, round_index: int, global_state: State, kept: Sequence[ClientUpdate]
     ) -> "tuple[State, Dict[str, object]]":
         """Aggregate one round's kept updates into the global state.
 
-        The per-algorithm server step of the round loop: implementations
-        aggregate ``kept`` (which may be empty when every selected client
-        missed the deadline — the global state is then returned unchanged),
-        persist the round via :meth:`save_checkpoint`, and return the new
-        global state plus extras for the round record.
+        Expressed through the fold hooks so every aggregation mode shares
+        one code path: the ``gemv`` accumulator simply buffers the updates
+        it is folded (reproducing the historical batch aggregation bit for
+        bit), while the streaming/sharded accumulators consume them one at
+        a time — in which case each update's state is dropped, and its
+        (possibly virtual) client released, as soon as it is folded.
         """
-        raise NotImplementedError(
-            f"{self.__class__.__name__} does not implement the scheduled round loop"
-        )
+        accumulator = self._begin_fold(global_state)
+        for update in kept:
+            self._fold_update(accumulator, global_state, update)
+            if self.server.streaming:
+                update.state = None
+                self._release_client(update.client_index)
+        self.server.record_folds(accumulator.count)
+        return self._finalize_round(round_index, global_state, accumulator)
 
     def _run_global_rounds(
         self, result: TrainingResult, global_state: State, start_round: int
@@ -476,27 +581,65 @@ class FederatedAlgorithm:
         scheduler = self.scheduler
         for round_index in range(start_round, self.config.rounds):
             plan = scheduler.begin_round(round_index)
-            updates = (
-                self.map_client_updates(
-                    global_state,
-                    steps=self.config.local_steps,
-                    proximal_mu=self._local_proximal_mu(),
-                    cohort=plan.cohort,
+            if self.server.streaming and plan.cohort:
+                global_state, extra, per_client_loss = self._stream_scheduled_round(
+                    round_index, global_state, plan
                 )
-                if plan.cohort
-                else []
-            )
-            outcome = scheduler.complete_round(plan, updates)
-            global_state, extra = self._global_round(round_index, global_state, outcome.kept)
-            per_client_loss = {
-                update.client_id: update.stats.mean_loss for update in outcome.kept
-            }
+            else:
+                updates = (
+                    self.map_client_updates(
+                        global_state,
+                        steps=self.config.local_steps,
+                        proximal_mu=self._local_proximal_mu(),
+                        cohort=plan.cohort,
+                    )
+                    if plan.cohort
+                    else []
+                )
+                outcome = scheduler.complete_round(plan, updates)
+                global_state, extra = self._global_round(round_index, global_state, outcome.kept)
+                extra = {**extra, **outcome.record_extra}
+                per_client_loss = {
+                    update.client_id: update.stats.mean_loss for update in outcome.kept
+                }
             result.history.append(
-                self._round_record(
-                    round_index, per_client_loss, extra={**extra, **outcome.record_extra}
-                )
+                self._round_record(round_index, per_client_loss, extra=extra)
             )
         return global_state
+
+    def _stream_scheduled_round(self, round_index: int, global_state: State, plan):
+        """One scheduled round with per-arrival folding (streaming server).
+
+        The cohort's straggler latencies are pre-drawn (consuming the
+        latency RNG exactly as the batch path's ``complete_round`` would,
+        so every drawn value stays bit-identical), each update is folded —
+        or, past the deadline, discarded — the moment it comes off the
+        backend, and its state and client are released immediately after.
+        Peak coordinator memory is therefore O(P), independent of the
+        cohort size.
+        """
+        scheduler = self.scheduler
+        latencies = scheduler.arrival_schedule(plan)
+        deadline = scheduler.deadline if scheduler.policy == "deadline" else None
+        accumulator = self._begin_fold(global_state)
+        updates: List[ClientUpdate] = []
+        per_client_loss: Dict[int, float] = {}
+        for update in self.iter_client_updates(
+            global_state,
+            steps=self.config.local_steps,
+            proximal_mu=self._local_proximal_mu(),
+            cohort=plan.cohort,
+        ):
+            updates.append(update)
+            if deadline is None or latencies[update.client_index] <= deadline:
+                self._fold_update(accumulator, global_state, update)
+                per_client_loss[update.client_id] = update.stats.mean_loss
+            update.state = None
+            self._release_client(update.client_index)
+        outcome = scheduler.complete_round(plan, updates, latencies=latencies)
+        self.server.record_folds(accumulator.count)
+        global_state, extra = self._finalize_round(round_index, global_state, accumulator)
+        return global_state, {**extra, **outcome.record_extra}, per_client_loss
 
     # -- interface ------------------------------------------------------------------
     def run(self) -> TrainingResult:

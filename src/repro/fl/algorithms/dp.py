@@ -52,24 +52,28 @@ class DPFedProx(FederatedAlgorithm):
         fingerprint["noise_multiplier"] = self.privacy.noise_multiplier
         return fingerprint
 
-    def _global_round(
-        self, round_index: int, global_state: State, kept: Sequence[ClientUpdate]
+    def _fold_update(self, accumulator, global_state: State, update: ClientUpdate) -> None:
+        # The clipping + noising of each returned update happens on the
+        # server side with one sequential RNG stream, in fold (= cohort)
+        # order, so the noise draws are identical under any execution
+        # backend and any aggregation mode.
+        private_state, raw_norm = privatize_update(
+            global_state, update.state, self.privacy, self._noise_rng
+        )
+        self.update_log.record(raw_norm, self.privacy.clip_norm)
+        accumulator.fold(
+            private_state, float(self.clients[update.client_index].num_samples)
+        )
+
+    def _finalize_round(
+        self, round_index: int, global_state: State, accumulator
     ) -> Tuple[State, Dict[str, object]]:
         extra: Dict[str, object] = {}
-        if kept:
-            client_states: List[State] = []
-            # The clipping + noising of each returned update happens on the
-            # server side with one sequential RNG stream, in cohort order, so
-            # the noise draws are identical under any execution backend.
-            for update in kept:
-                private_state, raw_norm = privatize_update(
-                    global_state, update.state, self.privacy, self._noise_rng
-                )
-                self.update_log.record(raw_norm, self.privacy.clip_norm)
-                client_states.append(private_state)
-            weights = [float(self.clients[update.client_index].num_samples) for update in kept]
-            extra["client_drift"] = average_pairwise_distance(client_states)
-            global_state = self.server.aggregate(client_states, weights)
+        if accumulator.count:
+            client_states = accumulator.states()
+            if client_states is not None:
+                extra["client_drift"] = average_pairwise_distance(client_states)
+            global_state = accumulator.result()
             self.accountant.record_round()
         self.save_checkpoint(
             round_index,

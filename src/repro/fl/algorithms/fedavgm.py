@@ -40,15 +40,20 @@ class FedAvgM(FederatedAlgorithm):
     #: Server momentum coefficient; subclasses or experiments may override.
     server_momentum: float = 0.9
 
-    def _global_round(
-        self, round_index: int, global_state: State, kept: Sequence[ClientUpdate]
+    def _fold_update(self, accumulator, global_state: State, update: ClientUpdate) -> None:
+        accumulator.fold(
+            update.state, float(self.clients[update.client_index].num_samples)
+        )
+
+    def _finalize_round(
+        self, round_index: int, global_state: State, accumulator
     ) -> Tuple[State, Dict[str, object]]:
         extra: Dict[str, object] = {}
-        if kept:
-            client_states: List[State] = [update.state for update in kept]
-            weights = [float(self.clients[update.client_index].num_samples) for update in kept]
-            extra["client_drift"] = average_pairwise_distance(client_states)
-            average = self.server.aggregate(client_states, weights)
+        if accumulator.count:
+            client_states = accumulator.states()
+            if client_states is not None:
+                extra["client_drift"] = average_pairwise_distance(client_states)
+            average = accumulator.result()
 
             # Pseudo-gradient: how far the average moved away from the global
             # model this round; momentum accumulates it across rounds.  The

@@ -65,16 +65,24 @@ class FedProx(FederatedAlgorithm):
     def _local_proximal_mu(self) -> float:
         return self.proximal_mu()
 
-    def _global_round(
-        self, round_index: int, global_state: State, kept: Sequence[ClientUpdate]
+    def _fold_update(self, accumulator, global_state: State, update: ClientUpdate) -> None:
+        accumulator.fold(
+            update.state, float(self.clients[update.client_index].num_samples)
+        )
+
+    def _finalize_round(
+        self, round_index: int, global_state: State, accumulator
     ) -> Tuple[State, Dict[str, object]]:
-        """Sample-count-weighted averaging over the round's kept updates."""
+        """Sample-count-weighted averaging over the round's folded updates."""
         extra: Dict[str, object] = {}
-        if kept:
-            client_states: List[State] = [update.state for update in kept]
-            weights = [float(self.clients[update.client_index].num_samples) for update in kept]
-            extra["client_drift"] = average_pairwise_distance(client_states)
-            global_state = self.server.aggregate(client_states, weights)
+        if accumulator.count:
+            client_states = accumulator.states()
+            if client_states is not None:
+                # Drift needs the individual states; a spilled streaming
+                # accumulator no longer holds them, so the diagnostic is
+                # simply omitted at population scale.
+                extra["client_drift"] = average_pairwise_distance(client_states)
+            global_state = accumulator.result()
         self.save_checkpoint(round_index, global_state)
         return global_state, extra
 
@@ -178,6 +186,10 @@ class FedProx(FederatedAlgorithm):
 
         buffer: List[Tuple[_InFlight, float, int]] = []  # (entry, weight, staleness)
         buffer_losses: Dict[int, float] = {}
+        # Streaming servers fold each buffered delta at arrival time (and
+        # release the update's state immediately); the gemv path keeps the
+        # historical batch fold below, bit for bit.
+        delta_accumulator = self.server.delta_accumulator() if self.server.streaming else None
 
         def aggregate_buffer() -> State:
             """Fold the buffered updates into the global model."""
@@ -242,8 +254,30 @@ class FedProx(FederatedAlgorithm):
                 buffer.append((entry, weight, staleness))
                 buffer_losses[entry.update.client_id] = entry.update.stats.mean_loss
                 scheduler.record_buffered(staleness)
+                if delta_accumulator is not None:
+                    # Fresh at fold time stays fresh at aggregation time: the
+                    # global model only rebinds at an aggregation, which also
+                    # resets the buffer and the accumulator.
+                    delta_accumulator.fold(
+                        entry.update.state,
+                        entry.dispatch_state,
+                        weight,
+                        fresh=staleness == 0 and entry.dispatch_state is global_state,
+                    )
+                    if delta_accumulator.spilled:
+                        # Past the parity buffer the delta is captured in the
+                        # running sum; drop the references so coordinator
+                        # memory stays O(P) regardless of buffer size.
+                        entry.update.state = None
+                        entry.dispatch_state = None
+                    self._release_client(entry.client_index)
                 if len(buffer) >= scheduler.buffer_size:
-                    global_state = aggregate_buffer()
+                    if delta_accumulator is not None:
+                        global_state = delta_accumulator.result(global_state)
+                        delta_accumulator.reset()
+                    else:
+                        global_state = aggregate_buffer()
+                    self.server.record_folds(len(buffer))
                     staleness_values = [staleness for _, _, staleness in buffer]
                     round_index = version
                     version += 1

@@ -27,6 +27,16 @@ ModelFactory = Callable[[], RoutabilityModel]
 _INIT_SEED_TAG = 0x1217
 
 
+def initial_rng_state(client_id: int) -> dict:
+    """The RNG state a fresh :class:`FederatedClient` starts with.
+
+    Lazy client virtualization persists a virtual client's RNG stream across
+    materialize/release cycles; before the first materialization the stream
+    must equal what an eagerly built client would have, which is this.
+    """
+    return np.random.default_rng(client_id).bit_generator.state
+
+
 class FederatedClient:
     """One participant of decentralized training."""
 

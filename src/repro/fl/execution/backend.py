@@ -79,7 +79,7 @@ import os
 import pickle
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.fl.parameters import State, flat_pair, wrap_flat
 from repro.fl.trainer import StepStatistics
@@ -207,6 +207,16 @@ class ExecutionBackend:
         """Execute every task and return outcomes aligned with ``tasks``."""
         raise NotImplementedError
 
+    def imap(self, tasks: Sequence[ClientTask]) -> Iterator[ClientUpdate]:
+        """Yield outcomes one at a time, in task order.
+
+        Streaming aggregation folds each update as it is yielded and then
+        releases it, so the coordinating process never holds a whole
+        cohort's worth of states.  Backends override this to yield results
+        as they complete; the default materializes :meth:`map`.
+        """
+        return iter(self.map(tasks))
+
     def close(self) -> None:
         """Release any worker resources; the backend may be re-used after."""
 
@@ -230,21 +240,20 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
+        return list(self.imap(tasks))
+
+    def imap(self, tasks: Sequence[ClientTask]) -> Iterator[ClientUpdate]:
         _check_one_task_per_client(tasks)
-        updates: List[ClientUpdate] = []
         for task in tasks:
             client = self._clients[task.client_index]
             state, payload, stats = run_client_task(client, task)
-            updates.append(
-                ClientUpdate(
-                    client_index=task.client_index,
-                    client_id=client.client_id,
-                    state=state,
-                    stats=stats,
-                    payload=payload,
-                )
+            yield ClientUpdate(
+                client_index=task.client_index,
+                client_id=client.client_id,
+                state=state,
+                stats=stats,
+                payload=payload,
             )
-        return updates
 
 
 # -- process-pool worker plumbing ------------------------------------------------
@@ -274,7 +283,14 @@ def _worker_run_task(payload):
     else:
         task = ClientTask(client_index=index, state=blob, op=op, steps=steps, proximal_mu=proximal_mu)
     new_state, upload_payload, stats = run_client_task(client, task)
-    return new_state, upload_payload, stats, client.rng_state
+    rng_state = client.rng_state
+    # Virtual client handles (population runs) free the materialized client
+    # between tasks so worker memory stays bounded by the in-flight task,
+    # not the roster; the captured RNG state is what the parent needs.
+    release = getattr(client, "release", None)
+    if release is not None:
+        release()
+    return new_state, upload_payload, stats, rng_state
 
 
 def default_worker_count() -> int:
@@ -343,11 +359,7 @@ class ProcessPoolBackend(ExecutionBackend):
             self.spawn_count += 1
         return self._pool
 
-    def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
-        if not tasks:
-            return []
-        _check_one_task_per_client(tasks)
-        pool = self._ensure_pool()
+    def _payloads(self, tasks: Sequence[ClientTask]) -> List[tuple]:
         # Broadcast rounds pass the *same* state (or wire envelope) object in
         # every task; pickle each distinct one once and ship the blob, instead
         # of re-serializing the full model per client.  Wire envelopes carry an
@@ -359,7 +371,7 @@ class ProcessPoolBackend(ExecutionBackend):
             key = id(carrier)
             if key not in blobs:
                 blobs[key] = pickle.dumps(carrier, protocol=pickle.HIGHEST_PROTOCOL)
-        payloads = [
+        return [
             (
                 task.client_index,
                 task.op,
@@ -371,21 +383,36 @@ class ProcessPoolBackend(ExecutionBackend):
             )
             for task in tasks
         ]
-        raw = pool.map(_worker_run_task, payloads)
-        updates: List[ClientUpdate] = []
-        for task, (state, upload_payload, stats, rng_state) in zip(tasks, raw):
-            client = self._clients[task.client_index]
-            client.rng_state = rng_state
-            updates.append(
-                ClientUpdate(
-                    client_index=task.client_index,
-                    client_id=client.client_id,
-                    state=state,
-                    stats=stats,
-                    payload=upload_payload,
-                )
-            )
-        return updates
+
+    def _to_update(self, task: ClientTask, raw) -> ClientUpdate:
+        state, upload_payload, stats, rng_state = raw
+        client = self._clients[task.client_index]
+        client.rng_state = rng_state
+        return ClientUpdate(
+            client_index=task.client_index,
+            client_id=client.client_id,
+            state=state,
+            stats=stats,
+            payload=upload_payload,
+        )
+
+    def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
+        if not tasks:
+            return []
+        _check_one_task_per_client(tasks)
+        pool = self._ensure_pool()
+        raw = pool.map(_worker_run_task, self._payloads(tasks))
+        return [self._to_update(task, result) for task, result in zip(tasks, raw)]
+
+    def imap(self, tasks: Sequence[ClientTask]) -> Iterator[ClientUpdate]:
+        if not tasks:
+            return
+        _check_one_task_per_client(tasks)
+        pool = self._ensure_pool()
+        # pool.imap yields in submission order as results land, so the
+        # coordinator folds update i while updates i+1.. are still training.
+        for task, result in zip(tasks, pool.imap(_worker_run_task, self._payloads(tasks))):
+            yield self._to_update(task, result)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -456,6 +483,14 @@ class ThreadPoolBackend(ExecutionBackend):
         _check_one_task_per_client(tasks)
         executor = self._ensure_executor()
         return list(executor.map(self._run_one, tasks))
+
+    def imap(self, tasks: Sequence[ClientTask]) -> Iterator[ClientUpdate]:
+        if not tasks:
+            return
+        _check_one_task_per_client(tasks)
+        executor = self._ensure_executor()
+        # Executor.map yields results in submission order as they complete.
+        yield from executor.map(self._run_one, tasks)
 
     def close(self) -> None:
         if self._executor is not None:

@@ -483,25 +483,41 @@ def check_compatible(states: Sequence[State]) -> None:
 # The (K, P) aggregation matrix is reused across rounds: the server
 # aggregates the same cohort-size/model-size shape every round, and
 # re-touching a freshly allocated multi-megabyte buffer each call costs
-# more in page faults than the GEMV itself.  Bounded to a handful of
-# shapes (IFCA aggregates per cluster with varying K) and a size cap.
-_MATRIX_SCRATCH: Dict[Tuple[int, int], np.ndarray] = {}
-_MATRIX_SCRATCH_MAX_SHAPES = 8
+# more in page faults than the GEMV itself.  A single buffer is kept and
+# sliced to the requested row count; it is reallocated when the column
+# count changes or the requested rows fall outside [rows, 2*rows] of the
+# allocation, so the scratch cannot stay pinned at a stale cohort size
+# after the round policy drops stragglers (K shrinks).
+_MATRIX_SCRATCH: Optional[np.ndarray] = None
 _MATRIX_SCRATCH_MAX_BYTES = 1 << 28  # 256 MiB
 
 
 def _aggregation_matrix(rows: int, columns: int) -> np.ndarray:
     """A reusable (rows, columns) float64 work matrix for weighted averaging."""
+    global _MATRIX_SCRATCH
     if rows * columns * 8 > _MATRIX_SCRATCH_MAX_BYTES:
         return np.empty((rows, columns), dtype=np.float64)
-    key = (rows, columns)
-    matrix = _MATRIX_SCRATCH.get(key)
-    if matrix is None:
-        if len(_MATRIX_SCRATCH) >= _MATRIX_SCRATCH_MAX_SHAPES:
-            _MATRIX_SCRATCH.clear()
-        matrix = np.empty((rows, columns), dtype=np.float64)
-        _MATRIX_SCRATCH[key] = matrix
-    return matrix
+    scratch = _MATRIX_SCRATCH
+    if (
+        scratch is None
+        or scratch.shape[1] != columns
+        or not rows <= scratch.shape[0] <= 2 * rows
+    ):
+        scratch = np.empty((rows, columns), dtype=np.float64)
+        _MATRIX_SCRATCH = scratch
+    return scratch[:rows]
+
+
+def aggregation_scratch_bytes() -> int:
+    """Bytes currently held by the cached aggregation work matrix."""
+    scratch = _MATRIX_SCRATCH
+    return 0 if scratch is None else int(scratch.nbytes)
+
+
+def release_aggregation_scratch() -> None:
+    """Drop the cached aggregation work matrix (e.g. between experiments)."""
+    global _MATRIX_SCRATCH
+    _MATRIX_SCRATCH = None
 
 
 def _check_weights(states: List[State], weights: np.ndarray) -> np.ndarray:

@@ -7,7 +7,7 @@ alpha-portion sync), and redistributes the results.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,13 +23,53 @@ from repro.fl.parameters import (
     wrap_flat,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.fl.aggregation import (
+        Aggregator,
+        StreamingDeltaAccumulator,
+        UpdateAccumulator,
+    )
+
 
 class FederatedServer:
-    """Parameter-aggregation logic used by every algorithm in this package."""
+    """Parameter-aggregation logic used by every algorithm in this package.
+
+    The global-model aggregation is delegated to a pluggable
+    :class:`~repro.fl.aggregation.Aggregator` (default: the historical
+    (K, P) GEMV).  The streaming/sharded aggregators expose accumulators
+    that fold one update at a time so the round loop never needs the whole
+    cohort in memory; ``streaming`` tells the algorithm whether the server
+    wants updates released as soon as they are folded.
+    """
+
+    def __init__(self, aggregator: Optional["Aggregator"] = None):
+        if aggregator is None:
+            from repro.fl.aggregation import GemvAggregator
+
+            aggregator = GemvAggregator()
+        self.aggregator = aggregator
+        self.folded_updates = 0
+
+    @property
+    def streaming(self) -> bool:
+        """True when updates should be folded (and released) as they arrive."""
+        return self.aggregator.streaming
+
+    def accumulator(self) -> "UpdateAccumulator":
+        """A fresh per-round accumulator for the global aggregation."""
+        return self.aggregator.accumulator()
+
+    def delta_accumulator(self) -> "StreamingDeltaAccumulator":
+        """A fresh delta accumulator (FedBuff staleness folds)."""
+        return self.aggregator.delta_accumulator()
+
+    def record_folds(self, count: int) -> None:
+        """Count updates folded into the global model (for run summaries)."""
+        self.folded_updates += int(count)
 
     def aggregate(self, states: Sequence[State], weights: Sequence[float]) -> State:
         """Sample-count-weighted average: ``W^{r+1} = sum_k (n_k / n) w_k^r``."""
-        return weighted_average(states, weights)
+        return self.aggregator.aggregate(states, weights)
 
     def aggregate_partition(
         self,

@@ -1,0 +1,445 @@
+"""End-to-end tests for population-scale federation.
+
+Lazy client virtualization (:mod:`repro.fl.population`) promises two things:
+
+* **laziness** — nothing is materialized before the sampler selects a
+  client, and streaming rounds release each client right after its update
+  is folded, so peak materialization is bounded by the cohort;
+* **bit-parity** — a sampled run over a virtualized population under
+  ``--aggregation streaming``/``sharded`` produces the *identical* global
+  state as the historical GEMV path, across execution backends and through
+  checkpoint resume (the parity buffer covers every small cohort).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.clients import ClientData, ClientSpec
+from repro.fl import (
+    CheckpointManager,
+    ClientDirectory,
+    FederatedClient,
+    FederatedServer,
+    FLConfig,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    create_aggregator,
+    create_algorithm,
+    create_scheduler,
+    initial_rng_state,
+)
+from repro.fl import SeededModelFactory
+from repro.models import FLNet
+
+POPULATION_ALGORITHMS = ("fedavg", "fedprox", "fedavgm", "dp_fedprox")
+
+TINY_CONFIG = FLConfig(
+    rounds=2,
+    local_steps=2,
+    finetune_steps=3,
+    learning_rate=3e-3,
+    batch_size=2,
+    num_clusters=2,
+    assigned_clusters=((1, 0), (2, 1)),
+    ifca_eval_batches=1,
+    proximal_mu=1e-3,
+)
+
+
+class TinyModelBuilder:
+    """Module-level builder so handles stay picklable for the process pool."""
+
+    def __init__(self, channels: int):
+        self.channels = channels
+
+    def __call__(self, seed: int) -> FLNet:
+        return FLNet(self.channels, hidden_filters=8, kernel_size=5, seed=seed)
+
+
+def make_factory(num_channels: int) -> SeededModelFactory:
+    return SeededModelFactory(TinyModelBuilder(num_channels), base_seed=0)
+
+
+def states_equal(left, right) -> bool:
+    """Bit-exact equality of two state dictionaries."""
+    return set(left) == set(right) and all(np.array_equal(left[k], right[k]) for k in left)
+
+
+@pytest.fixture
+def client_data(
+    tiny_train_dataset,
+    tiny_test_dataset,
+    tiny_train_dataset_itc,
+    tiny_test_dataset_itc,
+):
+    """Two base data partitions the population cycles through."""
+    return [
+        ClientData(
+            ClientSpec(1, "iscas89", 2, 2, 6, 4), tiny_train_dataset, tiny_test_dataset
+        ),
+        ClientData(
+            ClientSpec(2, "itc99", 2, 1, 6, 2), tiny_train_dataset_itc, tiny_test_dataset_itc
+        ),
+    ]
+
+
+@pytest.fixture
+def make_directory(client_data, num_channels):
+    def build(population, config=TINY_CONFIG):
+        return ClientDirectory(
+            client_data, make_factory(num_channels), config, population=population
+        )
+
+    return build
+
+
+def run_population(
+    name,
+    directory,
+    num_channels,
+    config=TINY_CONFIG,
+    aggregation="gemv",
+    backend=None,
+    checkpoint=None,
+    scheduler=None,
+):
+    """One algorithm run over a virtualized population; returns (training, server)."""
+    server = FederatedServer(aggregator=create_aggregator(aggregation))
+    algorithm = create_algorithm(
+        name,
+        list(directory.handles),
+        make_factory(num_channels),
+        config,
+        server=server,
+        backend=backend,
+        checkpoint=checkpoint,
+        scheduler=scheduler,
+    )
+    try:
+        return algorithm.run(), server
+    finally:
+        if backend is not None:
+            backend.close()
+
+
+def sampling_scheduler(clients_per_round=3, **options):
+    return create_scheduler(clients_per_round=clients_per_round, seed=0, **options)
+
+
+class TestLaziness:
+    def test_directory_builds_nothing_eagerly(self, make_directory):
+        directory = make_directory(10_000)
+        assert len(directory) == 10_000
+        assert directory.eager_clients == 0
+        # Every eager roster read a round loop performs stays virtual.
+        handle = directory[4321]
+        assert handle.client_id == 4322
+        assert handle.num_samples == directory[4321 % 2].num_samples
+        assert handle.rng_state == initial_rng_state(4322)
+        assert not handle.is_materialized
+        assert directory.eager_clients == 0
+        assert directory.total_materializations == 0
+
+    def test_population_cycles_base_partitions(self, make_directory):
+        directory = make_directory(7)
+        assert [h.spec.base_index for h in directory] == [0, 1, 0, 1, 0, 1, 0]
+        assert [h.client_id for h in directory] == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_handle_matches_eager_client_rng(self, make_directory, client_data, num_channels):
+        directory = make_directory(5)
+        handle = directory[2]
+        eager = FederatedClient.from_client_data(
+            ClientData(ClientSpec(3, "iscas89", 2, 2, 6, 4), client_data[0].train, client_data[0].test),
+            make_factory(num_channels),
+            TINY_CONFIG,
+        )
+        assert handle.rng_state == eager.rng_state
+
+    def test_release_persists_the_rng_stream(self, make_directory):
+        directory = make_directory(3)
+        handle = directory[0]
+        client = handle.materialize()
+        assert directory.eager_clients == 1
+        # Advance the client's private RNG, as local training would.
+        client._rng.standard_normal(17)
+        advanced = client.rng_state
+        handle.release()
+        assert directory.eager_clients == 0
+        assert not handle.is_materialized
+        assert handle.rng_state == advanced  # captured, not reset
+        rebuilt = handle.materialize()
+        assert rebuilt is not client  # a genuinely fresh client...
+        assert rebuilt.rng_state == advanced  # ...continuing the same stream
+        assert directory.total_materializations == 2
+        assert directory.total_releases == 1
+        assert directory.peak_materialized == 1
+
+    def test_invalid_directories_are_rejected(self, client_data, num_channels):
+        with pytest.raises(ValueError, match="population must be positive"):
+            ClientDirectory(client_data, make_factory(num_channels), TINY_CONFIG, population=0)
+        with pytest.raises(ValueError, match="base client partition"):
+            ClientDirectory([], make_factory(num_channels), TINY_CONFIG, population=5)
+
+    def test_streaming_run_bounds_materialization(self, make_directory, num_channels):
+        directory = make_directory(10_000)
+        training, server = run_population(
+            "fedavg",
+            directory,
+            num_channels,
+            aggregation="streaming",
+            scheduler=sampling_scheduler(clients_per_round=3),
+        )
+        assert training.global_state is not None
+        # Folded-and-released one at a time: never more than one client alive.
+        assert directory.eager_clients == 0
+        assert directory.peak_materialized <= 3
+        assert directory.total_materializations == directory.total_releases
+        assert server.folded_updates == TINY_CONFIG.rounds * 3
+
+
+class TestStreamingParity:
+    @pytest.mark.parametrize("algorithm", POPULATION_ALGORITHMS)
+    def test_streaming_matches_gemv_bitwise(self, algorithm, make_directory, num_channels):
+        """The tentpole guarantee: sampled population runs are mode-invariant."""
+        population = 10_000 if algorithm == "fedavg" else 200
+        gemv, _ = run_population(
+            algorithm,
+            make_directory(population),
+            num_channels,
+            scheduler=sampling_scheduler(clients_per_round=9),
+        )
+        streamed, _ = run_population(
+            algorithm,
+            make_directory(population),
+            num_channels,
+            aggregation="streaming",
+            scheduler=sampling_scheduler(clients_per_round=9),
+        )
+        assert states_equal(gemv.global_state, streamed.global_state)
+        assert [r.mean_loss for r in gemv.history] == [r.mean_loss for r in streamed.history]
+
+    def test_sharded_matches_gemv_bitwise(self, make_directory, num_channels):
+        gemv, _ = run_population(
+            "fedavg",
+            make_directory(200),
+            num_channels,
+            scheduler=sampling_scheduler(clients_per_round=9),
+        )
+        sharded, _ = run_population(
+            "fedavg",
+            make_directory(200),
+            num_channels,
+            aggregation="sharded",
+            scheduler=sampling_scheduler(clients_per_round=9),
+        )
+        assert states_equal(gemv.global_state, sharded.global_state)
+
+    @pytest.mark.parametrize(
+        "backend_factory", [ThreadPoolBackend, lambda: ProcessPoolBackend(workers=2)]
+    )
+    def test_streaming_identical_across_backends(
+        self, backend_factory, make_directory, num_channels
+    ):
+        serial, _ = run_population(
+            "fedavg",
+            make_directory(200),
+            num_channels,
+            aggregation="streaming",
+            backend=SerialBackend(),
+            scheduler=sampling_scheduler(clients_per_round=5),
+        )
+        parallel, _ = run_population(
+            "fedavg",
+            make_directory(200),
+            num_channels,
+            aggregation="streaming",
+            backend=backend_factory(),
+            scheduler=sampling_scheduler(clients_per_round=5),
+        )
+        assert states_equal(serial.global_state, parallel.global_state)
+
+    def test_streaming_matches_gemv_under_deadline_policy(
+        self, make_directory, num_channels
+    ):
+        """Dropped stragglers are skipped by the arrival-order fold too."""
+
+        def scheduler():
+            return sampling_scheduler(
+                clients_per_round=5,
+                straggler="lognormal",
+                round_policy="deadline",
+                deadline=12.0,
+            )
+
+        gemv, _ = run_population(
+            "fedavg", make_directory(50), num_channels, scheduler=scheduler()
+        )
+        streamed, _ = run_population(
+            "fedavg",
+            make_directory(50),
+            num_channels,
+            aggregation="streaming",
+            scheduler=scheduler(),
+        )
+        assert states_equal(gemv.global_state, streamed.global_state)
+
+    def test_streaming_matches_gemv_under_fedbuff(self, make_directory, num_channels):
+        """The staleness-weighted delta fold agrees at parity buffer sizes."""
+
+        def scheduler():
+            return sampling_scheduler(
+                clients_per_round=4,
+                round_policy="fedbuff",
+                buffer_size=2,
+                straggler="lognormal",
+            )
+
+        gemv, _ = run_population(
+            "fedavg", make_directory(50), num_channels, scheduler=scheduler()
+        )
+        streamed, _ = run_population(
+            "fedavg",
+            make_directory(50),
+            num_channels,
+            aggregation="streaming",
+            scheduler=scheduler(),
+        )
+        assert states_equal(gemv.global_state, streamed.global_state)
+        assert [r.mean_loss for r in gemv.history] == [r.mean_loss for r in streamed.history]
+
+
+class TestCheckpointResume:
+    def test_streaming_resume_is_bit_identical(
+        self, tmp_path, make_directory, num_channels
+    ):
+        """Interrupt a streaming population run; resume must match gemv."""
+        from dataclasses import replace
+
+        long_config = replace(TINY_CONFIG, rounds=4)
+        short_config = replace(TINY_CONFIG, rounds=2)
+
+        def scheduler():
+            return sampling_scheduler(clients_per_round=3, straggler="lognormal")
+
+        uninterrupted, _ = run_population(
+            "fedavg",
+            make_directory(50, long_config),
+            num_channels,
+            config=long_config,
+            scheduler=scheduler(),
+        )
+        run_population(
+            "fedavg",
+            make_directory(50, short_config),
+            num_channels,
+            config=short_config,
+            aggregation="streaming",
+            checkpoint=CheckpointManager(tmp_path),
+            scheduler=scheduler(),
+        )
+        resumed, _ = run_population(
+            "fedavg",
+            make_directory(50, long_config),
+            num_channels,
+            config=long_config,
+            aggregation="streaming",
+            checkpoint=CheckpointManager(tmp_path),
+            scheduler=scheduler(),
+        )
+        assert states_equal(uninterrupted.global_state, resumed.global_state)
+        assert [r.round_index for r in resumed.history] == [2, 3]
+
+    def test_fedbuff_resume_parity_between_modes(
+        self, tmp_path, make_directory, num_channels
+    ):
+        """FedBuff resume is deterministic (not uninterrupted-identical);
+        the streaming delta fold must land exactly where the gemv fold does."""
+        from dataclasses import replace
+
+        long_config = replace(TINY_CONFIG, rounds=4)
+        short_config = replace(TINY_CONFIG, rounds=2)
+
+        def scheduler():
+            return sampling_scheduler(
+                clients_per_round=3,
+                round_policy="fedbuff",
+                buffer_size=2,
+                straggler="lognormal",
+            )
+
+        def interrupted_then_resumed(aggregation, directory_path):
+            run_population(
+                "fedavg",
+                make_directory(50, short_config),
+                num_channels,
+                config=short_config,
+                aggregation=aggregation,
+                checkpoint=CheckpointManager(directory_path),
+                scheduler=scheduler(),
+            )
+            resumed, _ = run_population(
+                "fedavg",
+                make_directory(50, long_config),
+                num_channels,
+                config=long_config,
+                aggregation=aggregation,
+                checkpoint=CheckpointManager(directory_path),
+                scheduler=scheduler(),
+            )
+            return resumed
+
+        gemv = interrupted_then_resumed("gemv", tmp_path / "gemv")
+        streamed = interrupted_then_resumed("streaming", tmp_path / "streaming")
+        assert states_equal(gemv.global_state, streamed.global_state)
+        assert [r.round_index for r in streamed.history] == [2, 3]
+
+    def test_aggregation_mode_is_fingerprinted(
+        self, tmp_path, make_directory, num_channels
+    ):
+        """A sharded checkpoint must not silently resume a streaming run."""
+        run_population(
+            "fedavg",
+            make_directory(20),
+            num_channels,
+            aggregation="sharded",
+            checkpoint=CheckpointManager(tmp_path),
+            scheduler=sampling_scheduler(clients_per_round=3),
+        )
+        with pytest.raises(ValueError, match="written by a different run"):
+            run_population(
+                "fedavg",
+                make_directory(20),
+                num_channels,
+                aggregation="streaming",
+                checkpoint=CheckpointManager(tmp_path),
+                scheduler=sampling_scheduler(clients_per_round=3),
+            )
+
+
+class TestHandleTransport:
+    def test_handle_pickles_as_spec_plus_rng(self, make_directory):
+        import pickle
+
+        directory = make_directory(5)
+        handle = directory[3]
+        client = handle.materialize()
+        client._rng.standard_normal(5)
+        expected_rng = client.rng_state
+        clone = pickle.loads(pickle.dumps(handle))
+        assert not clone.is_materialized  # ships virtual, rebuilt on demand
+        assert clone.client_id == handle.client_id
+        assert clone.rng_state == expected_rng
+        handle.release()
+
+    def test_directory_pickle_drops_counters(self, make_directory):
+        import pickle
+
+        directory = make_directory(6)
+        directory[0].materialize()
+        clone = pickle.loads(pickle.dumps(directory))
+        assert clone.population == 6
+        assert clone.eager_clients == 0
+        assert clone.total_materializations == 0
