@@ -51,12 +51,21 @@ def write_records(name: str, records: Sequence[Dict[str, object]]) -> Path:
     the perf trajectory is trackable across PRs.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    from repro.utils.threadpools import blas_info
+
+    info = blas_info()
     payload = {
         "benchmark": name,
         "environment": {
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
+            # BLAS identity makes records comparable across machines: the
+            # perf gate (repro bench diff) skips cross-environment
+            # comparisons with a warning instead of failing on them.
+            "blas_vendor": info.vendor,
+            "blas_version": info.version,
+            "blas_max_threads": info.max_threads,
         },
         "records": list(records),
     }

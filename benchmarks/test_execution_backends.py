@@ -3,12 +3,19 @@
 The execution engine's promise is twofold: the parallel backends must be
 **bit-identical** to ``SerialBackend`` for the same seed (asserted
 unconditionally), and on a multi-core machine they must turn the 9-client
-round from a sequential scan into a parallel map that is at least not
-slower than serial (asserted when enough cores are available, always
-reported).  Both pools are *warm*: workers are spawned once per backend
-lifetime (``spawn_count``, asserted here too), so only steady-state rounds
-are measured — the pre-warm-pool numbers paid spawn cost per benchmark
-run.
+round from a sequential scan into a parallel map that actually beats
+serial (asserted when enough cores are available, always reported).  Both
+pools are *warm*: workers are spawned once per backend lifetime
+(``spawn_count``, asserted here too), so only steady-state rounds are
+measured.
+
+Since the compute-saturation engine, every backend also carries a BLAS
+thread policy (default ``auto``): serial lets NumPy's BLAS spread one
+client's GEMMs across every core, while each pool worker is pinned to
+``cores // workers`` BLAS threads, so the workers x BLAS-threads product —
+recorded per row as ``effective_parallelism`` — never oversubscribes the
+machine.  Pre-pinning, the pools and the BLAS pool fought over the same
+cores and "parallel" could lose to serial.
 
 The 9 clients use synthetic feature/label grids rather than the EDA corpus:
 the benchmark measures the execution engine, not data generation, and the
@@ -24,6 +31,7 @@ import numpy as np
 from conftest import (
     BENCH_GRID as GRID,
     BENCH_LOCAL_STEPS as LOCAL_STEPS,
+    BENCH_NUM_CLIENTS,
     BenchModelBuilder,
     fresh_clients,
     write_records,
@@ -39,6 +47,7 @@ from repro.fl import (
     create_algorithm,
 )
 from repro.fl.parameters import flatten_state
+from repro.utils.threadpools import blas_info
 
 WORKERS = 4
 
@@ -74,12 +83,45 @@ def run_round(backend):
     return training, elapsed
 
 
+def parallelism_fields(backend) -> dict:
+    """The effective (workers x BLAS-threads) product one backend deploys."""
+    cores = os.cpu_count() or 1
+    if isinstance(backend, SerialBackend):
+        # Serial + auto leaves BLAS alone: one client's GEMMs use the BLAS
+        # pool's own thread count (all cores out of the box).
+        blas_threads = blas_info().max_threads or cores
+        return {
+            "workers": 1,
+            "effective_workers": 1,
+            "blas_threads_per_worker": blas_threads,
+            "effective_parallelism": blas_threads,
+        }
+    pool_size = max(1, min(backend.effective_workers, BENCH_NUM_CLIENTS))
+    per_worker = backend.resolved_blas_threads(pool_size)
+    if per_worker is None:
+        per_worker = blas_info().max_threads or 1
+    return {
+        "workers": backend.workers,
+        "effective_workers": pool_size,
+        "blas_threads_per_worker": per_worker,
+        "effective_parallelism": pool_size * per_worker,
+    }
+
+
 def test_execution_backend_speedup(benchmark):
+    backends = {
+        "serial": SerialBackend,
+        "process": lambda: ProcessPoolBackend(workers=WORKERS),
+        "thread": lambda: ThreadPoolBackend(workers=WORKERS),
+    }
+    parallelism = {}
+
     def measure():
         results = {}
-        results["serial"] = run_round(SerialBackend())
-        results["process"] = run_round(ProcessPoolBackend(workers=WORKERS))
-        results["thread"] = run_round(ThreadPoolBackend(workers=WORKERS))
+        for name, build in backends.items():
+            backend = build()
+            parallelism[name] = parallelism_fields(backend)
+            results[name] = run_round(backend)
         return results
 
     results = benchmark.pedantic(measure, rounds=1, iterations=1)
@@ -100,19 +142,24 @@ def test_execution_backend_speedup(benchmark):
         for name, (_, seconds) in results.items()
     }
     lines = [
-        "Execution backends: one 9-client FedAvg round, warm pools",
+        "Execution backends: one 9-client FedAvg round, warm pools, BLAS-aware",
         f"({LOCAL_STEPS} local steps/client, FLNet, {GRID}x{GRID} synthetic grids, "
-        f"{WORKERS} workers, {cores} cores)",
+        f"{WORKERS} workers requested, {cores} cores)",
         "",
-        f"{'backend':<12}{'seconds':>10}{'speedup':>10}",
+        f"{'backend':<12}{'seconds':>10}{'speedup':>10}{'eff.workers':>13}{'blas/worker':>13}",
     ]
     for name in ("serial", "process", "thread"):
         _, seconds = results[name]
-        lines.append(f"{name:<12}{seconds:>10.3f}{speedups[name]:>9.2f}x")
+        fields = parallelism[name]
+        lines.append(
+            f"{name:<12}{seconds:>10.3f}{speedups[name]:>9.2f}x"
+            f"{fields['effective_workers']:>13}{fields['blas_threads_per_worker']:>13}"
+        )
     lines += [
         "",
         "bit-identical global state across all backends: True",
         "warm pools: workers spawned once per backend (asserted)",
+        "BLAS policy auto: workers x BLAS-threads never exceeds the cores",
     ]
     text = "\n".join(lines)
     print("\n" + text)
@@ -125,15 +172,16 @@ def test_execution_backend_speedup(benchmark):
                 "config": f"{name}_{WORKERS}w" if name != "serial" else "serial",
                 "ms": round(seconds * 1000, 3),
                 "speedup": round(speedups[name], 3),
+                **parallelism[name],
             }
             for name, (_, seconds) in results.items()
         ],
     )
 
     if cores >= 4:
-        # With 4 workers on >=4 cores the 9-way round must come out ahead of
-        # the sequential scan even after IPC overhead, and the thread pool
-        # must at least not fall behind serial.
+        # With BLAS pinning, the pools own disjoint cores: the 9-way round
+        # must come out ahead of the sequential scan even after IPC
+        # overhead, for both pool flavors.
         assert speedups["process"] > 1.2, (
             f"expected parallel speedup on {cores} cores, got {speedups['process']:.2f}x"
         )

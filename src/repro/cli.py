@@ -26,6 +26,10 @@ entry points without writing any Python:
     population (partial cohorts, availability, stragglers on a virtual
     clock, deadline drops, buffered-asynchronous aggregation) and report
     participation and simulated wall-clock time.
+``repro bench diff``
+    Diff fresh ``benchmarks/results/*.json`` records against the committed
+    baselines under ``benchmarks/baselines/`` per (op, config) key and exit
+    nonzero on a regression beyond ``--tolerance`` — the CI perf gate.
 ``repro communication``
     Print the analytic communication cost of every algorithm for a model.
 
@@ -55,6 +59,7 @@ from repro.fl import (
     estimate_communication,
 )
 from repro.models.registry import available_models, create_model
+from repro.utils.threadpools import parse_blas_threads
 
 
 def _add_list_models(subparsers) -> None:
@@ -175,6 +180,16 @@ def _add_reproduce(subparsers) -> None:
         default=None,
         help="workers per round; 1 forces serial execution, >1 fans client "
         "updates out over the process/thread pool (results are bit-identical)",
+    )
+    parser.add_argument(
+        "--blas-threads",
+        type=parse_blas_threads,
+        default="auto",
+        metavar="{auto,N}",
+        help="BLAS threads per worker: 'auto' (default) leaves serial runs to "
+        "BLAS's own all-core threading and pins each pool worker to "
+        "cores // workers threads so workers x BLAS-threads never "
+        "oversubscribes; an integer pins every worker exactly",
     )
     parser.add_argument(
         "--compute-dtype",
@@ -323,6 +338,7 @@ def _cmd_reproduce(args) -> int:
         config = config.with_execution(
             backend=args.backend,
             workers=args.workers,
+            blas_threads=args.blas_threads,
             checkpoint_dir=args.checkpoint_dir,
             compute_dtype=args.compute_dtype,
         ).with_transport(
@@ -393,6 +409,69 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _add_bench(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "bench", help="benchmark record tooling (perf-regression gate)"
+    )
+    bench_subparsers = parser.add_subparsers(dest="bench_command", required=True)
+    diff = bench_subparsers.add_parser(
+        "diff",
+        help="diff fresh benchmarks/results/*.json against committed baselines; "
+        "exits nonzero on a regression beyond tolerance",
+    )
+    diff.add_argument(
+        "--results",
+        default="benchmarks/results",
+        help="directory of fresh benchmark records (default: benchmarks/results)",
+    )
+    diff.add_argument(
+        "--baselines",
+        default="benchmarks/baselines",
+        help="directory of committed baseline records (default: benchmarks/baselines)",
+    )
+    diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative slowdown tolerated before a record counts as a "
+        "regression (default 0.25, i.e. 25%% slower fails)",
+    )
+    diff.add_argument(
+        "--names",
+        nargs="*",
+        default=None,
+        help="compare only these benchmark names (default: every committed baseline)",
+    )
+    diff.set_defaults(handler=_cmd_bench_diff)
+
+
+def _cmd_bench_diff(args) -> int:
+    from repro.utils.benchgate import (
+        DEFAULT_TOLERANCE,
+        diff_directories,
+        format_table,
+        has_regression,
+    )
+
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    try:
+        rows, warnings = diff_directories(
+            args.baselines, args.results, tolerance=tolerance, names=args.names
+        )
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    print(f"benchmark gate: tolerance {tolerance:.0%}")
+    print(format_table(rows))
+    if has_regression(rows):
+        print("\nFAIL: at least one benchmark regressed beyond tolerance", file=sys.stderr)
+        return 1
+    print("\nOK: no regression beyond tolerance")
+    return 0
+
+
 def _add_communication(subparsers) -> None:
     parser = subparsers.add_parser(
         "communication", help="analytic communication cost of every algorithm"
@@ -443,6 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate_data(subparsers)
     _add_route(subparsers)
     _add_reproduce(subparsers)
+    _add_bench(subparsers)
     _add_communication(subparsers)
     return parser
 

@@ -36,6 +36,7 @@ from repro.fl.scheduling import (
 )
 from repro.fl.transport import COMPRESSION_CHOICES
 from repro.models.registry import available_models
+from repro.utils.threadpools import check_blas_policy
 
 #: Sentinel for "keep the current value" in :meth:`ExperimentConfig.with_execution`.
 _KEEP = object()
@@ -111,6 +112,7 @@ class ExperimentConfig:
     seed: int = 0
     backend: Optional[str] = None
     workers: Optional[int] = None
+    blas_threads: object = "auto"
     checkpoint_dir: Optional[str] = None
     compression: Optional[str] = None
     compression_bits: int = 8
@@ -142,6 +144,7 @@ class ExperimentConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be positive, got {self.workers}")
+        check_blas_policy(self.blas_threads)
         if self.backend == "serial" and self.workers is not None and self.workers > 1:
             raise ValueError(
                 f"backend 'serial' cannot use {self.workers} workers; "
@@ -266,6 +269,7 @@ class ExperimentConfig:
         self,
         backend: object = _KEEP,
         workers: object = _KEEP,
+        blas_threads: object = _KEEP,
         checkpoint_dir: object = _KEEP,
         compute_dtype: object = _KEEP,
     ) -> "ExperimentConfig":
@@ -276,6 +280,9 @@ class ExperimentConfig:
         checkpointing without touching the backend choice).  ``compute_dtype``
         selects the local-training arithmetic dtype and lives on the nested
         :class:`~repro.fl.FLConfig` (``None`` resets to float64).
+        ``blas_threads`` is the BLAS thread policy handed to the execution
+        backend (``"auto"``, an exact count, or ``None`` to leave the BLAS
+        pool unmanaged).
         """
         fl = self.fl
         if compute_dtype is not _KEEP:
@@ -285,6 +292,7 @@ class ExperimentConfig:
             fl=fl,
             backend=self.backend if backend is _KEEP else backend,
             workers=self.workers if workers is _KEEP else workers,
+            blas_threads=self.blas_threads if blas_threads is _KEEP else blas_threads,
             checkpoint_dir=self.checkpoint_dir if checkpoint_dir is _KEEP else checkpoint_dir,
         )
 

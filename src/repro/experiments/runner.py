@@ -176,7 +176,11 @@ class ExperimentRunner:
         use it as a context manager) once training is done; the serial
         backend holds no resources, the process-pool backend holds workers.
         """
-        return create_backend(self.config.backend, workers=self.config.workers)
+        return create_backend(
+            self.config.backend,
+            workers=self.config.workers,
+            blas_threads=self.config.blas_threads,
+        )
 
     def transport_channel(self) -> Optional[Channel]:
         """A fresh transport channel for one algorithm run (or ``None``).

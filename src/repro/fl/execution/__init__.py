@@ -14,6 +14,7 @@ from repro.fl.execution.backend import (
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
+    clamp_workers,
     create_backend,
     default_worker_count,
     run_client_task,
@@ -28,6 +29,7 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "ThreadPoolBackend",
+    "clamp_workers",
     "create_backend",
     "default_worker_count",
     "run_client_task",

@@ -74,6 +74,7 @@ Delta uploads are computed as one vector subtraction over those buffers.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import pickle
@@ -83,6 +84,16 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.fl.parameters import State, flat_pair, wrap_flat
 from repro.fl.trainer import StepStatistics
+from repro.utils.threadpools import (
+    BLAS_AUTO,
+    BlasPolicy,
+    blas_thread_limit,
+    check_blas_policy,
+    resolve_blas_threads,
+    set_blas_threads,
+)
+
+logger = logging.getLogger(__name__)
 
 #: Task operations understood by every backend.
 TRAIN = "train"
@@ -182,13 +193,30 @@ def _check_one_task_per_client(tasks: Sequence[ClientTask]) -> None:
 
 
 class ExecutionBackend:
-    """Interface every execution backend implements (see module docstring)."""
+    """Interface every execution backend implements (see module docstring).
+
+    BLAS thread policy
+    ------------------
+    Every backend carries a ``blas_threads`` policy (default ``"auto"``, see
+    :func:`repro.utils.threadpools.resolve_blas_threads`): serial execution
+    leaves the BLAS pool alone — one client's GEMMs already spread across
+    every core — while the pooled backends pin each of W workers to
+    ``cores // W`` BLAS threads so the workers x BLAS-threads product never
+    oversubscribes the machine (the pre-PR records where "parallel" lost to
+    serial were exactly this oversubscription).  An integer pins every
+    worker to that count; ``None`` disables BLAS management entirely.
+    """
 
     #: Registry / CLI name, overridden by subclasses.
     name: str = "base"
 
-    def __init__(self):
+    def __init__(self, blas_threads: BlasPolicy = BLAS_AUTO):
         self._clients: List = []
+        self.blas_threads = check_blas_policy(blas_threads)
+
+    def resolved_blas_threads(self, pool_size: int) -> Optional[int]:
+        """Per-worker BLAS thread count for a pool of ``pool_size`` workers."""
+        return resolve_blas_threads(self.blas_threads, pool_size)
 
     def bind(self, clients: Sequence) -> None:
         """Attach the client roster tasks will index into.
@@ -244,16 +272,21 @@ class SerialBackend(ExecutionBackend):
 
     def imap(self, tasks: Sequence[ClientTask]) -> Iterator[ClientUpdate]:
         _check_one_task_per_client(tasks)
-        for task in tasks:
-            client = self._clients[task.client_index]
-            state, payload, stats = run_client_task(client, task)
-            yield ClientUpdate(
-                client_index=task.client_index,
-                client_id=client.client_id,
-                state=state,
-                stats=stats,
-                payload=payload,
-            )
+        # Under the default "auto" policy this resolves to None (a no-op):
+        # serial execution wants BLAS spreading one client's GEMMs across
+        # every core, which is its out-of-the-box behavior.  An explicit
+        # integer policy pins the round and restores the prior count after.
+        with blas_thread_limit(self.resolved_blas_threads(1)):
+            for task in tasks:
+                client = self._clients[task.client_index]
+                state, payload, stats = run_client_task(client, task)
+                yield ClientUpdate(
+                    client_index=task.client_index,
+                    client_id=client.client_id,
+                    state=state,
+                    stats=stats,
+                    payload=payload,
+                )
 
 
 # -- process-pool worker plumbing ------------------------------------------------
@@ -267,9 +300,14 @@ class SerialBackend(ExecutionBackend):
 _WORKER_CLIENTS: Optional[List] = None
 
 
-def _init_worker(clients: List) -> None:
+def _init_worker(clients: List, blas_threads: Optional[int] = None) -> None:
     global _WORKER_CLIENTS
     _WORKER_CLIENTS = clients
+    if blas_threads is not None:
+        # Post-fork/post-spawn BLAS pinning: each worker limits its own copy
+        # of the BLAS pool so the workers x BLAS-threads product stays within
+        # the machine (see the ExecutionBackend docstring).
+        set_blas_threads(blas_threads)
 
 
 def _worker_run_task(payload):
@@ -294,8 +332,34 @@ def _worker_run_task(payload):
 
 
 def default_worker_count() -> int:
-    """Worker count used when none is requested (the machine's CPU count)."""
+    """Worker count used when none is requested (the machine's CPU count).
+
+    Under the default ``blas_threads="auto"`` policy this is core-aware
+    rather than oversubscribing: each of the N workers is pinned to
+    ``cores // N = 1`` BLAS thread, so the pool uses exactly the machine.
+    """
     return max(1, os.cpu_count() or 1)
+
+
+def clamp_workers(requested: int) -> int:
+    """Clamp a requested worker count to the machine's cores, with a warning.
+
+    More pool workers than cores cannot add parallelism — they only add
+    scheduling thrash (and, for the process pool, memory for extra rosters).
+    The *requested* value stays visible on ``backend.workers``; this clamp
+    applies to the effective pool size only.
+    """
+    cores = os.cpu_count() or 1
+    if requested > cores:
+        logger.warning(
+            "requested %d workers but only %d core%s available; clamping the pool to %d",
+            requested,
+            cores,
+            "" if cores == 1 else "s are",
+            cores,
+        )
+        return cores
+    return requested
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -310,21 +374,33 @@ class ProcessPoolBackend(ExecutionBackend):
     ----------
     workers:
         Number of worker processes (default: the machine's CPU count).  The
-        effective pool size is additionally capped by the roster size.
+        effective pool size is additionally clamped to the core count (with
+        a logged warning, see :func:`clamp_workers`) and capped by the
+        roster size; the requested value stays visible as ``self.workers``,
+        the clamped one as ``self.effective_workers``.
     start_method:
         ``multiprocessing`` start method.  Defaults to ``"fork"`` where
         available (cheap, and tolerates non-picklable model factories) and
         ``"spawn"`` elsewhere; under ``"spawn"`` the bound clients must be
         picklable.
+    blas_threads:
+        BLAS thread policy (see :class:`ExecutionBackend`); each worker pins
+        its own BLAS pool in the initializer, i.e. post-fork.
     """
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None, start_method: Optional[str] = None):
-        super().__init__()
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        blas_threads: BlasPolicy = BLAS_AUTO,
+    ):
+        super().__init__(blas_threads=blas_threads)
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = int(workers) if workers is not None else default_worker_count()
+        self.effective_workers = clamp_workers(self.workers)
         if start_method is None:
             start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         self.start_method = start_method
@@ -352,9 +428,11 @@ class ProcessPoolBackend(ExecutionBackend):
             if not self._clients:
                 raise RuntimeError("ProcessPoolBackend.map called before bind()")
             context = multiprocessing.get_context(self.start_method)
-            processes = max(1, min(self.workers, len(self._clients)))
+            processes = max(1, min(self.effective_workers, len(self._clients)))
             self._pool = context.Pool(
-                processes=processes, initializer=_init_worker, initargs=(self._clients,)
+                processes=processes,
+                initializer=_init_worker,
+                initargs=(self._clients, self.resolved_blas_threads(processes)),
             )
             self.spawn_count += 1
         return self._pool
@@ -443,24 +521,33 @@ class ThreadPoolBackend(ExecutionBackend):
     cannot influence any value.  The executor is spawned lazily on the
     first ``map`` and stays warm across rounds (``spawn_count`` counts
     spawns, exactly like the process pool).
+
+    The BLAS thread count is process-global state shared by every pool
+    thread, so the policy is applied as a context manager **around** each
+    ``map``/``imap`` call (pin to ``cores // pool_size`` for the round,
+    restore after) rather than per task.
     """
 
     name = "thread"
 
-    def __init__(self, workers: Optional[int] = None):
-        super().__init__()
+    def __init__(self, workers: Optional[int] = None, blas_threads: BlasPolicy = BLAS_AUTO):
+        super().__init__(blas_threads=blas_threads)
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = int(workers) if workers is not None else default_worker_count()
+        self.effective_workers = clamp_workers(self.workers)
         self._executor: Optional[ThreadPoolExecutor] = None
         self.spawn_count = 0
+
+    def _pool_size(self) -> int:
+        return max(1, min(self.effective_workers, len(self._clients)))
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
         if self._executor is None:
             if not self._clients:
                 raise RuntimeError("ThreadPoolBackend.map called before bind()")
             self._executor = ThreadPoolExecutor(
-                max_workers=max(1, min(self.workers, len(self._clients))),
+                max_workers=self._pool_size(),
                 thread_name_prefix="repro-client",
             )
             self.spawn_count += 1
@@ -482,7 +569,8 @@ class ThreadPoolBackend(ExecutionBackend):
             return []
         _check_one_task_per_client(tasks)
         executor = self._ensure_executor()
-        return list(executor.map(self._run_one, tasks))
+        with blas_thread_limit(self.resolved_blas_threads(self._pool_size())):
+            return list(executor.map(self._run_one, tasks))
 
     def imap(self, tasks: Sequence[ClientTask]) -> Iterator[ClientUpdate]:
         if not tasks:
@@ -490,7 +578,8 @@ class ThreadPoolBackend(ExecutionBackend):
         _check_one_task_per_client(tasks)
         executor = self._ensure_executor()
         # Executor.map yields results in submission order as they complete.
-        yield from executor.map(self._run_one, tasks)
+        with blas_thread_limit(self.resolved_blas_threads(self._pool_size())):
+            yield from executor.map(self._run_one, tasks)
 
     def close(self) -> None:
         if self._executor is not None:
@@ -506,7 +595,11 @@ BACKENDS: Dict[str, type] = {
 }
 
 
-def create_backend(name: Optional[str] = None, workers: Optional[int] = None) -> ExecutionBackend:
+def create_backend(
+    name: Optional[str] = None,
+    workers: Optional[int] = None,
+    blas_threads: BlasPolicy = BLAS_AUTO,
+) -> ExecutionBackend:
     """Instantiate an execution backend by name.
 
     With ``name=None`` (or ``"auto"``) the backend is chosen from ``workers``:
@@ -514,6 +607,10 @@ def create_backend(name: Optional[str] = None, workers: Optional[int] = None) ->
     ``--workers N`` alone is enough to opt into parallel execution, and
     ``--workers 1`` is guaranteed to reproduce serial results.  The thread
     backend is never auto-selected; ask for it with ``--backend thread``.
+
+    ``blas_threads`` is the BLAS thread policy (``"auto"``, an exact count,
+    or ``None`` to leave the BLAS library unmanaged); see
+    :class:`ExecutionBackend` and ``--blas-threads`` on the CLI.
     """
     if name is None or name == "auto":
         name = ProcessPoolBackend.name if (workers or 1) > 1 else SerialBackend.name
@@ -521,12 +618,12 @@ def create_backend(name: Optional[str] = None, workers: Optional[int] = None) ->
     if key not in BACKENDS:
         raise ValueError(f"unknown execution backend {name!r}; available: {sorted(BACKENDS)}")
     if key == ProcessPoolBackend.name:
-        return ProcessPoolBackend(workers=workers)
+        return ProcessPoolBackend(workers=workers, blas_threads=blas_threads)
     if key == ThreadPoolBackend.name:
-        return ThreadPoolBackend(workers=workers)
+        return ThreadPoolBackend(workers=workers, blas_threads=blas_threads)
     if workers is not None and workers > 1:
         raise ValueError(
             f"backend 'serial' cannot use {workers} workers; "
             "drop --workers or choose the 'process' backend"
         )
-    return SerialBackend()
+    return SerialBackend(blas_threads=blas_threads)

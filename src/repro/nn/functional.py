@@ -40,6 +40,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.kernels import compiled_kernels_enabled, fused_col2im, gather_into
 from repro.nn.workspace import workspaces_enabled
 
 
@@ -172,15 +173,10 @@ def im2col(
         flat_index = _col2im_flat_index(
             c, kernel_h, kernel_w, out_h, out_w, stride, dilation, h + 2 * padding, w + 2 * padding
         )
-        # mode="clip" avoids np.take's buffered mode="raise" path; the
-        # memoized indices are in range by construction, so it never clips.
-        np.take(
-            x.reshape(n, -1),
-            flat_index.reshape(-1),
-            axis=1,
-            out=out.reshape(n, -1),
-            mode="clip",
-        )
+        # One flat gather straight into the reused buffer (compiled when
+        # numba is available, else np.take's unbuffered mode="clip" path;
+        # the memoized indices are in range by construction).
+        gather_into(x.reshape(n, -1), flat_index.reshape(-1), out.reshape(n, -1))
         return out
     k, i, j = _im2col_indices(c, kernel_h, kernel_w, out_h, out_w, stride, dilation)
     cols = x[:, k, i, j]
@@ -206,9 +202,17 @@ def col2im(
     The result has ``cols``'s dtype and is always freshly allocated (it is
     a layer's returned value, never workspace scratch).
 
-    Two equivalent accumulation engines:
+    Three equivalent accumulation engines, selected by the parity flags:
 
-    * **Tap accumulation** (the default): one vectorized ``+=`` per kernel
+    * **Fused clipped scatter** (the default): col2im fused with the unpad
+      slice — each tap lands directly in the unpadded result over the
+      clipped output range the slice would keep (see
+      :func:`repro.nn.kernels.fused_col2im`; compiled via numba where
+      available).  Same per-cell addition order as tap accumulation, so
+      bit-identical, without the padded temporary.
+    * **Tap accumulation** (under
+      :func:`repro.nn.kernels.compiled_kernels_disabled`, the PR 5/6
+      engine): one vectorized ``+=`` per kernel
       position into strided slices of the padded image.  For every output
       cell the contributions arrive in ascending ``(ki, kj)`` order —
       exactly the order the flattened-bincount scatter visits them — so for
@@ -227,6 +231,14 @@ def col2im(
     if cols.shape != expected:
         raise ValueError(f"col2im expected columns of shape {expected}, got {cols.shape}")
     h_padded, w_padded = h + 2 * padding, w + 2 * padding
+    if workspaces_enabled() and compiled_kernels_enabled():
+        # Fused engine: scatter each tap directly into the unpadded result,
+        # clipping tap ranges to the rows/columns the unpad slice would
+        # keep.  Same per-cell addition order as the padded tap path below,
+        # so bit-identical — minus the padded temporary and interior copy.
+        return fused_col2im(
+            cols, x_shape, kernel_h, kernel_w, out_h, out_w, stride, padding, dilation
+        )
     if workspaces_enabled():
         padded = np.zeros((n, c, h_padded, w_padded), dtype=cols.dtype)
         taps = cols.reshape(n, c, kernel_h, kernel_w, out_h, out_w)

@@ -1,0 +1,273 @@
+"""Fused and optionally-compiled convolution kernels.
+
+This module holds the compute-saturation kernel layer that sits underneath
+:mod:`repro.nn.functional` and the conv layers:
+
+* :func:`fused_col2im` — col2im fused with the unpad slice.  The reference
+  path (``functional.col2im``) accumulates taps into a zero-initialized
+  **padded** buffer ``(n, c, h+2p, w+2p)`` and then slices the interior,
+  paying an allocation + zero-fill of the border and a full interior copy
+  per call.  The fused kernel scatters each kernel tap **directly into the
+  unpadded output** by clipping the tap's output-pixel range to the rows and
+  columns that survive the unpad slice.  Contributions that the reference
+  discards are exactly the ones the clipped ranges skip, and surviving
+  contributions are applied in the same ascending ``(ki, kj)`` tap order, so
+  for every destination cell the IEEE addition sequence is unchanged —
+  **bit-identical by construction**, for both dtypes.
+* :func:`grad_weight_gemm` — the weight-gradient contraction
+  ``sum_i grad[i] @ cols[i].T``.  When the batch is a single image the
+  batched-matmul-plus-reduction collapses to one plain 2-D GEMM over the
+  same operands (the "where shapes permit" fusion), skipping the
+  ``sum(axis=0)`` pass entirely.
+* Optional **numba** kernels for the im2col gather and the per-tap scatter,
+  compiled lazily on first use when :mod:`numba` is importable and silently
+  absent otherwise (this container does not ship numba; the pure-NumPy
+  kernels above are the production path there).  The compiled loop nests
+  visit elements in exactly the order of their NumPy equivalents, so they
+  are held to the same bit-identity bar by ``tests/nn/test_kernels.py``.
+
+Everything is gated by :func:`compiled_kernels_disabled`, a parity flag in
+the exact mold of :func:`repro.nn.workspace.workspaces_disabled`: disabling
+it restores the PR 5/6 tap-accumulation engine, and disabling **both** flags
+restores the pre-PR-5 bincount path.
+
+Why the two backward GEMMs are *not* one batched matmul
+-------------------------------------------------------
+``Conv2d.backward`` runs two GEMMs per step: ``grad_weight``
+(``(n,O,L) @ (n,L,CK)`` summed over the batch — contracts over ``L``) and
+``grad_cols`` (``(CK,O) @ (n,O,L)`` broadcast over the batch — contracts
+over ``O``).  Because the two contract over *different* axes, no stacking
+of operands turns them into a single batched matmul: every arrangement
+either disagrees on shapes or requires zero-padding one operand, and
+padding changes the GEMM's reduction tree, which breaks float64
+bit-identity (measured: flattened single-GEMM reformulations of even one
+of these products drift in the last ulp on some shapes under OpenBLAS).
+The fusions kept here are exactly the ones that preserve the IEEE
+operation sequence; the rest of the multi-core win comes from BLAS-thread
+scheduling (:mod:`repro.utils.threadpools`), not from reassociating math.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+import numpy as np
+
+_ENABLED = True
+
+
+def compiled_kernels_enabled() -> bool:
+    """Whether the fused/compiled kernel paths are active (the default)."""
+    return _ENABLED
+
+
+@contextmanager
+def compiled_kernels_disabled():
+    """Run with the unfused reference kernels (the PR 5/6 engine) for parity tests."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+# -- optional numba backend ------------------------------------------------------
+#
+# numba is an optional accelerator, never a dependency: when it is not
+# importable (this container), the pure-NumPy kernels below are the real
+# path and nothing changes.  When it is importable, the jitted loop nests
+# replace the NumPy expressions on first use; a compile failure downgrades
+# back to NumPy permanently for the process.
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba  # type: ignore
+
+    HAVE_NUMBA = True
+except ImportError:
+    _numba = None
+    HAVE_NUMBA = False
+
+_NUMBA_SCATTER = None
+_NUMBA_GATHER = None
+_NUMBA_BROKEN = False
+
+
+def kernel_backend() -> str:
+    """``"numba"`` when the compiled kernels are available, else ``"numpy"``."""
+    if _ENABLED and HAVE_NUMBA and not _NUMBA_BROKEN:
+        return "numba"
+    return "numpy"
+
+
+def _build_numba_kernels():  # pragma: no cover - requires numba
+    """Compile the gather/scatter loop nests (lazy, once per process)."""
+    global _NUMBA_SCATTER, _NUMBA_GATHER, _NUMBA_BROKEN
+    if _NUMBA_SCATTER is not None or _NUMBA_BROKEN:
+        return
+    try:
+        njit = _numba.njit
+
+        @njit(cache=True)
+        def scatter_taps(taps, out, stride, padding, dilation):
+            # taps: (n, c, kh, kw, out_h, out_w); out: (n, c, h, w), pre-zeroed.
+            # Ascending (ki, kj) tap order — the reference accumulation order.
+            n, c, kernel_h, kernel_w, out_h, out_w = taps.shape
+            h, w = out.shape[2], out.shape[3]
+            for ki in range(kernel_h):
+                row_offset = ki * dilation - padding
+                row_lo = 0 if row_offset >= 0 else (-row_offset + stride - 1) // stride
+                row_hi = (h - 1 - row_offset) // stride + 1
+                if row_hi > out_h:
+                    row_hi = out_h
+                if row_lo >= row_hi:
+                    continue
+                for kj in range(kernel_w):
+                    col_offset = kj * dilation - padding
+                    col_lo = 0 if col_offset >= 0 else (-col_offset + stride - 1) // stride
+                    col_hi = (w - 1 - col_offset) // stride + 1
+                    if col_hi > out_w:
+                        col_hi = out_w
+                    if col_lo >= col_hi:
+                        continue
+                    for image in range(n):
+                        for channel in range(c):
+                            for oy in range(row_lo, row_hi):
+                                row = row_offset + stride * oy
+                                for ox in range(col_lo, col_hi):
+                                    out[image, channel, row, col_offset + stride * ox] += taps[
+                                        image, channel, ki, kj, oy, ox
+                                    ]
+
+        @njit(cache=True)
+        def gather_cols(flat_x, flat_index, out):
+            # flat_x: (n, c*hp*wp); flat_index: (m,); out: (n, m).  A plain
+            # gather — the compiled twin of the np.take im2col fast path.
+            for image in range(flat_x.shape[0]):
+                for j in range(flat_index.shape[0]):
+                    out[image, j] = flat_x[image, flat_index[j]]
+
+        _NUMBA_SCATTER = scatter_taps
+        _NUMBA_GATHER = gather_cols
+    except Exception:
+        _NUMBA_BROKEN = True
+
+
+def _tap_range(offset: int, stride: int, size: int, out_size: int) -> Tuple[int, int]:
+    """Output-pixel range ``[lo, hi)`` of one kernel tap that lands inside
+    an unpadded axis of length ``size``.
+
+    A tap at kernel position ``k`` writes destination index
+    ``offset + stride * o`` (``offset = k * dilation - padding``) for output
+    pixel ``o``; the range keeps exactly the ``o`` with destination in
+    ``[0, size)`` — the contributions the reference path's unpad slice
+    retains.
+    """
+    if offset >= 0:
+        lo = 0
+    else:
+        lo = (-offset + stride - 1) // stride
+    hi = min(out_size, (size - 1 - offset) // stride + 1)
+    return lo, hi
+
+
+def fused_col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    out_h: int,
+    out_w: int,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> np.ndarray:
+    """col2im fused with the unpad slice: scatter taps straight into ``x_shape``.
+
+    Bit-identical to the reference pad-accumulate-slice path for every dtype
+    (see the module docstring for the argument); the win is skipping the
+    padded temporary's allocation + border zero-fill and the interior copy —
+    for the paper's 9x9/padding-4 layers the padded buffer is ~19% larger
+    than the output it is sliced down to, freed and refilled every step.
+    """
+    n, c, h, w = x_shape
+    out = np.zeros((n, c, h, w), dtype=cols.dtype)
+    taps = cols.reshape(n, c, kernel_h, kernel_w, out_h, out_w)
+    if HAVE_NUMBA and not _NUMBA_BROKEN:  # pragma: no cover - requires numba
+        _build_numba_kernels()
+        if _NUMBA_SCATTER is not None:
+            _NUMBA_SCATTER(
+                np.ascontiguousarray(taps), out, int(stride), int(padding), int(dilation)
+            )
+            return out
+    for ki in range(kernel_h):
+        row_offset = ki * dilation - padding
+        row_lo, row_hi = _tap_range(row_offset, stride, h, out_h)
+        if row_lo >= row_hi:
+            continue
+        row_start = row_offset + stride * row_lo
+        row_stop = row_offset + stride * (row_hi - 1) + 1
+        for kj in range(kernel_w):
+            col_offset = kj * dilation - padding
+            col_lo, col_hi = _tap_range(col_offset, stride, w, out_w)
+            if col_lo >= col_hi:
+                continue
+            col_start = col_offset + stride * col_lo
+            col_stop = col_offset + stride * (col_hi - 1) + 1
+            out[
+                :,
+                :,
+                row_start:row_stop:stride,
+                col_start:col_stop:stride,
+            ] += taps[:, :, ki, kj, row_lo:row_hi, col_lo:col_hi]
+    return out
+
+
+def gather_into(flat_x: np.ndarray, flat_index: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """The im2col gather ``out[i, j] = flat_x[i, flat_index[j]]``.
+
+    Dispatches to the compiled numba gather when available, else to the
+    ``np.take`` fast path (``mode="clip"`` selects the unbuffered
+    write-through branch; the memoized indices are in range by
+    construction).  Pure gathers are trivially bit-identical across
+    backends.
+    """
+    if (
+        _ENABLED and HAVE_NUMBA and not _NUMBA_BROKEN
+    ):  # pragma: no cover - requires numba
+        _build_numba_kernels()
+        if _NUMBA_GATHER is not None:
+            _NUMBA_GATHER(flat_x, flat_index, out)
+            return out
+    np.take(flat_x, flat_index, axis=1, out=out, mode="clip")
+    return out
+
+
+def grad_weight_gemm(
+    grad_flat: np.ndarray, cols: np.ndarray, stage: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """The conv weight-gradient contraction ``sum_i grad_flat[i] @ cols[i].T``.
+
+    Reference form: one batched matmul into ``stage`` followed by a
+    ``sum(axis=0)`` reduction pass.  When the batch holds a single image
+    the reduction is the identity and the whole thing collapses to one 2-D
+    GEMM over the same operands — same BLAS call, same IEEE sequence, no
+    reduction pass (bit-identity asserted by the parity suite).  Larger
+    batches keep the reference form: collapsing them would reassociate the
+    per-image partial sums, which is exactly the reordering that breaks
+    float64 bit-identity (module docstring).
+
+    ``stage`` is the optional ``(n, rows, cols)`` workspace staging buffer;
+    the returned array may alias it and must be consumed before the owning
+    layer's next step (the standard workspace contract).
+    """
+    if _ENABLED and grad_flat.shape[0] == 1:
+        if stage is not None:
+            return np.matmul(grad_flat[0], cols[0].transpose(), out=stage[0])
+        return np.matmul(grad_flat[0], cols[0].transpose())
+    if stage is not None:
+        np.matmul(grad_flat, cols.transpose(0, 2, 1), out=stage)
+        return stage.sum(axis=0)
+    return np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0)

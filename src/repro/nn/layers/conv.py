@@ -13,6 +13,7 @@ from repro.nn.functional import (
     conv_transpose_output_size,
     im2col,
 )
+from repro.nn.kernels import grad_weight_gemm
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.nn.workspace import Workspace
@@ -125,11 +126,7 @@ class Conv2d(Module):
         dtype = cols.dtype
 
         stage = self._ws.get("grad_weight_stage", (n,) + weight_matrix.shape, dtype)
-        if stage is None:
-            grad_weight = np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0)
-        else:
-            np.matmul(grad_flat, cols.transpose(0, 2, 1), out=stage)
-            grad_weight = stage.sum(axis=0)
+        grad_weight = grad_weight_gemm(grad_flat, cols, stage=stage)
         self.weight.grad += grad_weight.reshape(self.weight.data.shape)
         if self.use_bias:
             self.bias.grad += grad_flat.sum(axis=(0, 2))
@@ -268,11 +265,7 @@ class ConvTranspose2d(Module):
 
         weight_matrix = self.weight.data.reshape(self.in_channels, -1)
         stage = self._ws.get("grad_weight_stage", (n,) + weight_matrix.shape, dtype)
-        if stage is None:
-            grad_weight = np.matmul(x_flat, grad_cols.transpose(0, 2, 1)).sum(axis=0)
-        else:
-            np.matmul(x_flat, grad_cols.transpose(0, 2, 1), out=stage)
-            grad_weight = stage.sum(axis=0)
+        grad_weight = grad_weight_gemm(x_flat, grad_cols, stage=stage)
         self.weight.grad += grad_weight.reshape(self.weight.data.shape)
         if self.use_bias:
             self.bias.grad += grad_output.sum(axis=(0, 2, 3))

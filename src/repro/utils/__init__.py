@@ -1,6 +1,16 @@
-"""Shared utilities: seeding, validation helpers, and lightweight logging."""
+"""Shared utilities: seeding, validation, BLAS thread control, benchmark gating."""
 
 from repro.utils.rng import SeedSequenceFactory, new_rng, spawn_rngs
+from repro.utils.threadpools import (
+    BLAS_AUTO,
+    BlasInfo,
+    blas_info,
+    blas_thread_limit,
+    get_blas_threads,
+    parse_blas_threads,
+    resolve_blas_threads,
+    set_blas_threads,
+)
 from repro.utils.validation import (
     check_in_range,
     check_positive,
@@ -16,4 +26,12 @@ __all__ = [
     "check_probability",
     "check_in_range",
     "check_shape",
+    "BLAS_AUTO",
+    "BlasInfo",
+    "blas_info",
+    "blas_thread_limit",
+    "get_blas_threads",
+    "set_blas_threads",
+    "parse_blas_threads",
+    "resolve_blas_threads",
 ]

@@ -1,0 +1,169 @@
+"""Tests for BLAS-thread-aware scheduling in the execution backends.
+
+Covers the worker-count clamp (requested > cores must not silently
+oversubscribe), the per-backend BLAS policy resolution, the post-fork
+worker pinning hook, and the config/runner/CLI plumbing of
+``--blas-threads``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.experiments import ExperimentRunner, smoke
+from repro.fl import ProcessPoolBackend, SerialBackend, ThreadPoolBackend, create_backend
+from repro.fl.execution import clamp_workers
+from repro.fl.execution import backend as backend_module
+from repro.fl.execution.backend import ClientTask, _init_worker
+from repro.utils.threadpools import blas_info, get_blas_threads, set_blas_threads
+
+
+def controllable() -> bool:
+    return blas_info().controllable
+
+
+class ProbeClient:
+    """Stub client recording the BLAS thread count its training step saw."""
+
+    def __init__(self, client_id: int = 1):
+        self.client_id = client_id
+        self.observed = None
+
+    def local_train(self, state, steps=None, proximal_mu=None):
+        self.observed = get_blas_threads()
+        return state, None
+
+
+class TestWorkerClamp:
+    def test_within_cores_unchanged(self, monkeypatch):
+        monkeypatch.setattr(backend_module.os, "cpu_count", lambda: 8)
+        assert clamp_workers(4) == 4
+        assert clamp_workers(8) == 8
+
+    def test_above_cores_clamped_with_warning(self, monkeypatch, caplog):
+        monkeypatch.setattr(backend_module.os, "cpu_count", lambda: 4)
+        with caplog.at_level(logging.WARNING, logger="repro.fl.execution.backend"):
+            assert clamp_workers(16) == 4
+        assert any("clamping" in record.message for record in caplog.records)
+
+    @pytest.mark.parametrize("backend_cls", [ProcessPoolBackend, ThreadPoolBackend])
+    def test_backends_keep_requested_but_clamp_effective(self, monkeypatch, backend_cls):
+        monkeypatch.setattr(backend_module.os, "cpu_count", lambda: 2)
+        backend = backend_cls(workers=6)
+        # The request stays visible; the pool size is clamped.
+        assert backend.workers == 6
+        assert backend.effective_workers == 2
+
+
+class TestPolicyResolution:
+    def test_serial_auto_leaves_blas_alone(self):
+        assert SerialBackend().resolved_blas_threads(1) is None
+
+    def test_pools_divide_cores_across_workers(self, monkeypatch):
+        monkeypatch.setattr(backend_module.os, "cpu_count", lambda: 8)
+        backend = ProcessPoolBackend(workers=4)
+        assert backend.effective_workers == 4
+        # resolve uses the real machine's cores; patch the resolver's view too.
+        monkeypatch.setattr("repro.utils.threadpools.os.cpu_count", lambda: 8)
+        assert backend.resolved_blas_threads(4) == 2
+
+    def test_explicit_policy_pins_exactly(self):
+        backend = ThreadPoolBackend(workers=2, blas_threads=3)
+        assert backend.resolved_blas_threads(2) == 3
+
+    def test_none_policy_disables_management(self):
+        backend = ThreadPoolBackend(workers=2, blas_threads=None)
+        assert backend.resolved_blas_threads(2) is None
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=2, blas_threads=0)
+        with pytest.raises(ValueError):
+            SerialBackend(blas_threads="fast")
+
+    def test_create_backend_plumbs_policy(self):
+        assert create_backend("serial", blas_threads=2).blas_threads == 2
+        assert create_backend("process", workers=2, blas_threads=1).blas_threads == 1
+        assert create_backend("thread", workers=2, blas_threads=None).blas_threads is None
+        # Default stays auto.
+        assert create_backend("process", workers=2).blas_threads == "auto"
+
+
+class TestRuntimePinning:
+    def test_worker_initializer_pins_blas(self):
+        if not controllable():
+            pytest.skip("BLAS library exposes no runtime thread setter")
+        previous = get_blas_threads()
+        try:
+            _init_worker([], blas_threads=2)
+            assert get_blas_threads() == 2
+        finally:
+            set_blas_threads(previous)
+
+    def test_worker_initializer_none_leaves_blas(self):
+        before = get_blas_threads()
+        _init_worker([], blas_threads=None)
+        assert get_blas_threads() == before
+
+    def test_serial_explicit_policy_pins_round_and_restores(self):
+        if not controllable():
+            pytest.skip("BLAS library exposes no runtime thread setter")
+        previous = get_blas_threads()
+        probe = ProbeClient()
+        backend = SerialBackend(blas_threads=2)
+        backend.bind([probe])
+        backend.map([ClientTask(client_index=0, state={})])
+        assert probe.observed == 2
+        assert get_blas_threads() == previous
+
+    def test_thread_pool_pins_during_map_and_restores(self):
+        if not controllable():
+            pytest.skip("BLAS library exposes no runtime thread setter")
+        previous = get_blas_threads()
+        probes = [ProbeClient(1), ProbeClient(2)]
+        backend = ThreadPoolBackend(workers=2, blas_threads=1)
+        backend.bind(probes)
+        try:
+            backend.map(
+                [ClientTask(client_index=0, state={}), ClientTask(client_index=1, state={})]
+            )
+        finally:
+            backend.close()
+        assert [probe.observed for probe in probes] == [1, 1]
+        assert get_blas_threads() == previous
+
+
+class TestConfigPlumbing:
+    def test_config_validates_policy(self):
+        with pytest.raises(ValueError):
+            smoke().with_execution(blas_threads=-1)
+        with pytest.raises(ValueError):
+            smoke().with_execution(blas_threads="turbo")
+
+    def test_with_execution_round_trip(self):
+        config = smoke()
+        assert config.blas_threads == "auto"
+        pinned = config.with_execution(blas_threads=2)
+        assert pinned.blas_threads == 2
+        # Omitting the option keeps the current value; None resets it.
+        assert pinned.with_execution(workers=2).blas_threads == 2
+        assert pinned.with_execution(blas_threads=None).blas_threads is None
+
+    def test_runner_hands_policy_to_backend(self):
+        config = smoke().with_execution(backend="thread", workers=2, blas_threads=1)
+        backend = ExperimentRunner(config).execution_backend()
+        try:
+            assert isinstance(backend, ThreadPoolBackend)
+            assert backend.blas_threads == 1
+        finally:
+            backend.close()
+
+    def test_cli_parses_blas_threads(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["reproduce"]).blas_threads == "auto"
+        assert parser.parse_args(["reproduce", "--blas-threads", "2"]).blas_threads == 2
+        assert parser.parse_args(["reproduce", "--blas-threads", "auto"]).blas_threads == "auto"

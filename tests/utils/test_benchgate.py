@@ -1,0 +1,210 @@
+"""Tests for the perf-regression gate (`repro bench diff`)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.utils.benchgate import (
+    IMPROVED,
+    MISSING,
+    NEW,
+    OK,
+    REGRESSION,
+    SKIPPED_ENV,
+    DiffRow,
+    diff_benchmark,
+    diff_directories,
+    environment_mismatch,
+    format_table,
+    has_regression,
+    load_records,
+)
+
+ENV = {"machine": "x86_64", "cpu_count": 8, "blas_vendor": "openblas", "python": "3.11.7"}
+
+
+def record_file(name, records, environment=ENV):
+    return {"benchmark": name, "environment": dict(environment), "records": records}
+
+
+def ms_record(op, config, ms, **extra):
+    return {"op": op, "config": config, "ms": ms, **extra}
+
+
+def write(directory: Path, payload) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{payload['benchmark']}.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+class TestDiffBenchmark:
+    def test_within_tolerance_is_ok(self):
+        baseline = record_file("b", [ms_record("round", "serial", 100.0)])
+        fresh = record_file("b", [ms_record("round", "serial", 110.0)])
+        (row,) = diff_benchmark(baseline, fresh, tolerance=0.25)
+        assert row.status == OK
+        assert row.ratio == pytest.approx(1.1)
+
+    def test_slowdown_beyond_tolerance_regresses(self):
+        baseline = record_file("b", [ms_record("round", "serial", 100.0)])
+        fresh = record_file("b", [ms_record("round", "serial", 200.0)])
+        (row,) = diff_benchmark(baseline, fresh, tolerance=0.25)
+        assert row.status == REGRESSION
+        assert has_regression([row])
+
+    def test_boundary_is_not_a_regression(self):
+        baseline = record_file("b", [ms_record("round", "serial", 100.0)])
+        fresh = record_file("b", [ms_record("round", "serial", 125.0)])
+        (row,) = diff_benchmark(baseline, fresh, tolerance=0.25)
+        assert row.status == OK
+
+    def test_large_speedup_reports_improved(self):
+        baseline = record_file("b", [ms_record("round", "serial", 100.0)])
+        fresh = record_file("b", [ms_record("round", "serial", 50.0)])
+        (row,) = diff_benchmark(baseline, fresh, tolerance=0.25)
+        assert row.status == IMPROVED
+        assert not has_regression([row])
+
+    def test_keys_matched_per_op_and_config(self):
+        baseline = record_file(
+            "b",
+            [ms_record("round", "serial", 100.0), ms_record("round", "process_4w", 40.0)],
+        )
+        fresh = record_file(
+            "b",
+            [ms_record("round", "process_4w", 39.0), ms_record("round", "serial", 101.0)],
+        )
+        rows = diff_benchmark(baseline, fresh, tolerance=0.25)
+        assert {(r.op, r.config, r.status) for r in rows} == {
+            ("round", "serial", OK),
+            ("round", "process_4w", OK),
+        }
+
+    def test_missing_and_new_keys_warn_but_pass(self):
+        baseline = record_file("b", [ms_record("old_op", "serial", 10.0)])
+        fresh = record_file("b", [ms_record("new_op", "serial", 10.0)])
+        rows = diff_benchmark(baseline, fresh, tolerance=0.25)
+        assert {r.status for r in rows} == {MISSING, NEW}
+        assert not has_regression(rows)
+
+    def test_environment_mismatch_skips_with_warning(self):
+        baseline = record_file("b", [ms_record("round", "serial", 100.0)])
+        other_env = dict(ENV, cpu_count=2)
+        fresh = record_file("b", [ms_record("round", "serial", 900.0)], environment=other_env)
+        (row,) = diff_benchmark(baseline, fresh, tolerance=0.25)
+        assert row.status == SKIPPED_ENV
+        assert "cpu_count" in row.note
+        assert not has_regression([row])
+
+    def test_environment_comparison_ignores_keys_missing_on_one_side(self):
+        # Baselines recorded before a header key existed stay comparable.
+        old_env = {"machine": "x86_64", "cpu_count": 8}
+        assert environment_mismatch(old_env, ENV) is None
+        assert environment_mismatch(dict(ENV), dict(ENV, blas_vendor="mkl")) == (
+            "blas_vendor: baseline 'openblas' vs current 'mkl'"
+        )
+
+    def test_python_version_does_not_block_comparison(self):
+        assert environment_mismatch(dict(ENV), dict(ENV, python="3.12.1")) is None
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diff_benchmark(record_file("b", []), record_file("b", []), tolerance=-0.1)
+
+
+class TestDirectoriesAndCli:
+    def make_dirs(self, tmp_path, baseline_ms, fresh_ms):
+        baselines = tmp_path / "baselines"
+        results = tmp_path / "results"
+        write(baselines, record_file("engine", [ms_record("round", "serial", baseline_ms)]))
+        write(results, record_file("engine", [ms_record("round", "serial", fresh_ms)]))
+        return baselines, results
+
+    def test_clean_directories_pass(self, tmp_path):
+        baselines, results = self.make_dirs(tmp_path, 100.0, 102.0)
+        rows, warnings = diff_directories(baselines, results, tolerance=0.25)
+        assert not warnings
+        assert not has_regression(rows)
+
+    def test_baseline_without_fresh_results_warns_not_fails(self, tmp_path):
+        baselines, results = self.make_dirs(tmp_path, 100.0, 100.0)
+        write(baselines, record_file("not_rerun", [ms_record("x", "y", 1.0)]))
+        rows, warnings = diff_directories(baselines, results, tolerance=0.25)
+        assert any("not_rerun" in warning for warning in warnings)
+        assert not has_regression(rows)
+
+    def test_names_filter(self, tmp_path):
+        baselines, results = self.make_dirs(tmp_path, 100.0, 100.0)
+        rows, _ = diff_directories(baselines, results, names=["engine"])
+        assert rows
+        with pytest.raises(FileNotFoundError):
+            diff_directories(baselines, results, names=["unknown_bench"])
+
+    def test_missing_baselines_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            diff_directories(tmp_path / "nope", tmp_path)
+
+    def test_load_records_rejects_non_record_files(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"not": "records"}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_records(path)
+
+    def test_cli_exits_zero_when_clean(self, tmp_path, capsys):
+        baselines, results = self.make_dirs(tmp_path, 100.0, 104.0)
+        code = main(
+            ["bench", "diff", "--baselines", str(baselines), "--results", str(results)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK: no regression" in out
+        assert "engine" in out
+
+    def test_cli_exits_nonzero_on_injected_regression(self, tmp_path, capsys):
+        # The negative test the CI job mirrors: inject a fake 2x-slower
+        # record and assert the gate fails.
+        baselines, results = self.make_dirs(tmp_path, 100.0, 200.0)
+        code = main(
+            [
+                "bench",
+                "diff",
+                "--baselines",
+                str(baselines),
+                "--results",
+                str(results),
+                "--tolerance",
+                "0.25",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "regression" in captured.out
+        assert "FAIL" in captured.err
+
+    def test_cli_errors_on_missing_baselines(self, tmp_path, capsys):
+        code = main(["bench", "diff", "--baselines", str(tmp_path / "none"), "--results", str(tmp_path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFormatting:
+    def test_table_lists_all_rows_and_summary(self):
+        rows = [
+            DiffRow("b", "round", "serial", 100.0, 150.0, REGRESSION, "slower"),
+            DiffRow("b", "round", "process_4w", 50.0, 49.0, OK),
+            DiffRow("a", "step", "f32", None, 3.0, NEW, "no baseline for this key"),
+        ]
+        text = format_table(rows)
+        assert "1 new" in text and "1 ok" in text and "1 regression" in text
+        # Sorted by (benchmark, op, config): benchmark 'a' first.
+        lines = text.splitlines()
+        assert lines[2].startswith("a")
+        assert "1.50x" in text
+
+    def test_empty_table(self):
+        assert "nothing compared" in format_table([])
