@@ -25,7 +25,11 @@ entry points without writing any Python:
     ``--round-policy {sync,deadline,fedbuff}`` simulate a real client
     population (partial cohorts, availability, stragglers on a virtual
     clock, deadline drops, buffered-asynchronous aggregation) and report
-    participation and simulated wall-clock time.
+    participation and simulated wall-clock time; ``--quorum`` /
+    ``--max-retries`` / ``--task-timeout`` / ``--fault-*-rate`` run the
+    round loop under the fault-tolerant supervisor (seeded chaos
+    injection, retries with deterministic backoff, quorum commits with
+    weight renormalization) and report the resilience accounting.
 ``repro bench diff``
     Diff fresh ``benchmarks/results/*.json`` records against the committed
     baselines under ``benchmarks/baselines/`` per (op, config) key and exit
@@ -314,6 +318,58 @@ def _add_reproduce(subparsers) -> None:
         "streaming/sharded are bit-identical to gemv for cohorts up to the "
         "parity limit",
     )
+    parser.add_argument(
+        "--quorum",
+        type=float,
+        default=1.0,
+        help="fraction of the per-round cohort that must deliver an update "
+        "before the round commits (default 1.0); clients that exhaust their "
+        "retries are dropped permanently with the aggregation weights "
+        "renormalized, and a sub-quorum round checkpoints and aborts",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="supervised retries per client task before it counts as failed "
+        "(default 2 once any fault-tolerance option is active)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds allowed per client task before the "
+        "supervisor retries it (process/thread backends)",
+    )
+    parser.add_argument(
+        "--fault-crash-rate",
+        type=float,
+        default=0.0,
+        help="chaos testing: per-attempt probability of a simulated worker "
+        "crash (deterministic for a given seed)",
+    )
+    parser.add_argument(
+        "--fault-exception-rate",
+        type=float,
+        default=0.0,
+        help="chaos testing: per-attempt probability of a simulated client "
+        "exception",
+    )
+    parser.add_argument(
+        "--fault-timeout-rate",
+        type=float,
+        default=0.0,
+        help="chaos testing: per-attempt probability of a simulated task "
+        "timeout",
+    )
+    parser.add_argument(
+        "--fault-corruption-rate",
+        type=float,
+        default=0.0,
+        help="chaos testing: per-attempt probability of flipping one byte of "
+        "the upload payload (caught by the transport CRC and retried; "
+        "needs --compression for a wire payload to corrupt)",
+    )
     parser.set_defaults(handler=_cmd_reproduce)
 
 
@@ -324,8 +380,10 @@ def _cmd_reproduce(args) -> int:
         comparison_table,
         format_rows,
         preset,
+        resilience_text,
         scheduling_text,
     )
+    from repro.fl import QuorumFailure
 
     config = preset(args.preset, model=args.model)
     if args.algorithms:
@@ -359,6 +417,14 @@ def _cmd_reproduce(args) -> int:
         ).with_population(
             population=args.population,
             aggregation=args.aggregation,
+        ).with_resilience(
+            quorum=args.quorum,
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+            fault_crash_rate=args.fault_crash_rate,
+            fault_exception_rate=args.fault_exception_rate,
+            fault_timeout_rate=args.fault_timeout_rate,
+            fault_corruption_rate=args.fault_corruption_rate,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -366,6 +432,24 @@ def _cmd_reproduce(args) -> int:
     runner = ExperimentRunner(config, cache_dir=args.cache_dir)
     try:
         result = runner.run()
+    except QuorumFailure as failure:
+        # Graceful degradation hit its floor: the round could not gather
+        # enough updates even after retries and drops.  The run state up to
+        # the failed round is already checkpointed (when --checkpoint-dir
+        # is set), so re-running the same command resumes from there.
+        print(
+            f"error: quorum failure at round {failure.round_index}: "
+            f"{failure.arrived}/{failure.cohort_size} clients delivered an "
+            f"update but {failure.required} were required",
+            file=sys.stderr,
+        )
+        if failure.checkpoint_dir is not None:
+            print(
+                f"progress up to the failed round is checkpointed under "
+                f"{failure.checkpoint_dir}; re-run the same command to resume",
+                file=sys.stderr,
+            )
+        return 3
     except ValueError as error:
         # e.g. resuming from a checkpoint directory written by a different run
         print(f"error: {error}", file=sys.stderr)
@@ -381,6 +465,9 @@ def _cmd_reproduce(args) -> int:
     if config.scheduling_requested:
         text += f"\n\nClient scheduling (--round-policy {args.round_policy}):\n"
         text += scheduling_text(result)
+    if config.resilience_requested:
+        text += f"\n\nFault tolerance (--quorum {args.quorum}):\n"
+        text += resilience_text(result)
     if config.fl.compute_dtype != "float64":
         text += (
             f"\n\ncompute dtype {config.fl.compute_dtype}: local training ran in the "

@@ -34,6 +34,7 @@ from repro.fl.scheduling import (
     STRAGGLER_CHOICES,
     scheduling_requested,
 )
+from repro.fl.faults import resilience_requested as _resilience_requested
 from repro.fl.transport import COMPRESSION_CHOICES
 from repro.models.registry import available_models
 from repro.utils.threadpools import check_blas_policy
@@ -100,6 +101,18 @@ class ExperimentConfig:
     staleness-weighted updates per model version).  All defaults off: the
     default configuration runs the full cohort synchronously and is
     bit-identical to pre-scheduling behavior.
+
+    Fault-tolerance options
+    -----------------------
+    ``quorum`` commits each round once that fraction of the cohort has
+    delivered an update (clients that exhaust their retries are dropped
+    permanently with the aggregation weights renormalized; a sub-quorum
+    round checkpoints and raises :class:`repro.fl.faults.QuorumFailure`).
+    ``max_retries`` / ``task_timeout`` shape the supervised retry loop, and
+    the ``fault_*_rate`` knobs inject deterministic seeded faults
+    (crash / exception / timeout / payload corruption) for chaos testing.
+    All defaults off: quorum 1 with no faults runs the pre-resilience code
+    path bit-identically.
     """
 
     name: str
@@ -129,6 +142,13 @@ class ExperimentConfig:
     buffer_size: int = 2
     population: Optional[int] = None
     aggregation: str = "gemv"
+    quorum: float = 1.0
+    max_retries: Optional[int] = None
+    task_timeout: Optional[float] = None
+    fault_crash_rate: float = 0.0
+    fault_exception_rate: float = 0.0
+    fault_timeout_rate: float = 0.0
+    fault_corruption_rate: float = 0.0
 
     def __post_init__(self):
         if self.model.lower() not in available_models():
@@ -230,6 +250,30 @@ class ExperimentConfig:
                 f"unknown aggregation mode {self.aggregation!r}; "
                 f"available: {AGGREGATION_CHOICES}"
             )
+        if not 0.0 < self.quorum <= 1.0:
+            raise ValueError(f"quorum must be in (0, 1], got {self.quorum}")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {self.task_timeout}")
+        fault_rates = {
+            "fault_crash_rate": self.fault_crash_rate,
+            "fault_exception_rate": self.fault_exception_rate,
+            "fault_timeout_rate": self.fault_timeout_rate,
+            "fault_corruption_rate": self.fault_corruption_rate,
+        }
+        for label, rate in fault_rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {rate}")
+        if sum(fault_rates.values()) > 1.0 + 1e-12:
+            raise ValueError(
+                f"fault rates must sum to at most 1, got {sum(fault_rates.values())}"
+            )
+        if self.resilience_requested and self.round_policy == "fedbuff":
+            raise ValueError(
+                "fault tolerance (quorum / fault injection / retries) is not "
+                "supported with the fedbuff round policy; choose sync or deadline"
+            )
         if self.population is not None:
             if self.population < 1:
                 raise ValueError(f"population must be positive, got {self.population}")
@@ -263,6 +307,71 @@ class ExperimentConfig:
             availability=self.availability,
             straggler=self.straggler_model,
             round_policy=self.round_policy,
+        )
+
+    @property
+    def resilience_requested(self) -> bool:
+        """Whether any fault-tolerance option departs from the defaults.
+
+        Delegates to :func:`repro.fl.faults.resilience_requested` — the same
+        predicate :func:`~repro.fl.faults.create_resilience` uses — so "a
+        resilience manager will exist" and "resilience is reported" agree by
+        construction.
+        """
+        return _resilience_requested(
+            quorum=self.quorum,
+            max_retries=self.max_retries,
+            task_timeout=self.task_timeout,
+            crash_rate=self.fault_crash_rate,
+            exception_rate=self.fault_exception_rate,
+            timeout_rate=self.fault_timeout_rate,
+            corruption_rate=self.fault_corruption_rate,
+        )
+
+    def with_resilience(
+        self,
+        quorum: object = _KEEP,
+        max_retries: object = _KEEP,
+        task_timeout: object = _KEEP,
+        fault_crash_rate: object = _KEEP,
+        fault_exception_rate: object = _KEEP,
+        fault_timeout_rate: object = _KEEP,
+        fault_corruption_rate: object = _KEEP,
+    ) -> "ExperimentConfig":
+        """A copy of this configuration with different fault-tolerance options.
+
+        ``quorum`` is the fraction of the per-round cohort that must deliver
+        an update before the round commits (permanently failed clients are
+        dropped and the aggregation weights renormalized); the ``fault_*``
+        rates inject deterministic seeded faults for chaos testing; and
+        ``max_retries`` / ``task_timeout`` control the supervised retry loop.
+        Omitted options keep their current value; the all-defaults
+        configuration (quorum 1, no faults, no retry overrides) runs the
+        pre-resilience code path bit-identically.
+        """
+        return replace(
+            self,
+            quorum=self.quorum if quorum is _KEEP else quorum,
+            max_retries=self.max_retries if max_retries is _KEEP else max_retries,
+            task_timeout=self.task_timeout if task_timeout is _KEEP else task_timeout,
+            fault_crash_rate=(
+                self.fault_crash_rate if fault_crash_rate is _KEEP else fault_crash_rate
+            ),
+            fault_exception_rate=(
+                self.fault_exception_rate
+                if fault_exception_rate is _KEEP
+                else fault_exception_rate
+            ),
+            fault_timeout_rate=(
+                self.fault_timeout_rate
+                if fault_timeout_rate is _KEEP
+                else fault_timeout_rate
+            ),
+            fault_corruption_rate=(
+                self.fault_corruption_rate
+                if fault_corruption_rate is _KEEP
+                else fault_corruption_rate
+            ),
         )
 
     def with_execution(

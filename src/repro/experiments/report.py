@@ -198,6 +198,67 @@ def scheduling_text(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def resilience_markdown(result: ExperimentResult) -> str:
+    """A markdown table of the fault-tolerance outcome per algorithm.
+
+    One row per algorithm that ran under a resilience manager: the quorum
+    and retry policy, how many attempts were retried / given up, pool
+    respawns, injected fault totals, and the clients permanently dropped.
+    Returns an explanatory placeholder when the experiment ran without
+    fault-tolerance options.
+    """
+    resilient = [o for o in result.outcomes if o.resilience is not None]
+    if not resilient:
+        return "_No resilience manager was active — run with quorum/fault options to exercise fault tolerance._"
+    lines = [
+        "| Method | Quorum | Retry policy | Retries | Gave up | Respawns | Injected | Dropped clients | Backoff |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for outcome in resilient:
+        res = outcome.resilience
+        injected = sum(res.injected.values())
+        dropped = ", ".join(str(client) for client in res.dropped_clients) or "—"
+        lines.append(
+            f"| {outcome.algorithm} | {res.quorum:.2f} | {res.retry_policy} "
+            f"| {res.retries} | {res.gave_up} | {res.respawns} | {injected} "
+            f"| {dropped} | {_format_seconds(res.backoff_seconds)} |"
+        )
+    return "\n".join(lines)
+
+
+def resilience_text(result: ExperimentResult) -> str:
+    """Plain-text rendering of the fault-tolerance outcome (CLI output).
+
+    Lines are formatted so a chaos run's effects are easy to assert on
+    (``retries <N>``, ``dropped clients <N>``).
+    """
+    resilient = [o for o in result.outcomes if o.resilience is not None]
+    if not resilient:
+        return "No resilience manager was active; a client failure aborts the run."
+    lines: List[str] = []
+    for outcome in resilient:
+        res = outcome.resilience
+        lines.append(
+            f"{outcome.algorithm:<22} quorum {res.quorum:.2f}, retry policy {res.retry_policy}"
+        )
+        lines.append(
+            f"{'':<22} retries {res.retries}, gave up {res.gave_up}, "
+            f"pool respawns {res.respawns}, dropped clients {len(res.dropped_clients)}, "
+            f"backoff {res.backoff_seconds:,.1f} s"
+        )
+        if any(res.injected.values()):
+            injected = ", ".join(
+                f"{kind} {count}" for kind, count in res.injected.items() if count
+            )
+            lines.append(f"{'':<22} injected faults: {injected}")
+        for record in res.renormalizations:
+            lines.append(
+                f"{'':<22} round {record['round']}: dropped {record['dropped_ids']}, "
+                f"remaining weight {record['remaining_weight_fraction']:.3f}"
+            )
+    return "\n".join(lines)
+
+
 def comparison_markdown(model: str, result: ExperimentResult, digits: int = 3) -> str:
     """A markdown paper-vs-measured table for one table experiment.
 

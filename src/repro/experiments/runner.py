@@ -17,6 +17,8 @@ from repro.fl import (
     ExecutionBackend,
     FederatedClient,
     FederatedServer,
+    ResilienceManager,
+    ResilienceSummary,
     RoundScheduler,
     SchedulingSummary,
     SeededModelFactory,
@@ -25,6 +27,7 @@ from repro.fl import (
     create_algorithm,
     create_backend,
     create_channel,
+    create_resilience,
     create_scheduler,
     evaluate_result,
 )
@@ -68,6 +71,10 @@ class AlgorithmOutcome:
     #: aggregation mode, eager clients before sampling, peak concurrently
     #: materialized clients, total materializations/releases, folded updates.
     population: Optional[Dict[str, object]] = None
+    #: Fault-tolerance accounting (None when the run used no resilience
+    #: manager, or the algorithm ignores it): retries, give-ups, pool
+    #: respawns, dropped clients, injected fault counts.
+    resilience: Optional[ResilienceSummary] = None
 
 
 @dataclass
@@ -218,6 +225,26 @@ class ExperimentRunner:
             seed=self.config.seed,
         )
 
+    def resilience_manager(self) -> Optional[ResilienceManager]:
+        """A fresh resilience manager for one algorithm run (or ``None``).
+
+        Managers are stateful (the fault plan's per-client draw counters,
+        retry/backoff accounting, and the permanent-failure set), so every
+        algorithm run gets its own — seeded from the run seed, which makes
+        injected faults identical across algorithms, execution backends,
+        and checkpoint resume.
+        """
+        return create_resilience(
+            quorum=self.config.quorum,
+            max_retries=self.config.max_retries,
+            task_timeout=self.config.task_timeout,
+            crash_rate=self.config.fault_crash_rate,
+            exception_rate=self.config.fault_exception_rate,
+            timeout_rate=self.config.fault_timeout_rate,
+            corruption_rate=self.config.fault_corruption_rate,
+            seed=self.config.seed,
+        )
+
     def _checkpoint_manager(self, algorithm: str) -> Optional[CheckpointManager]:
         """Per-algorithm checkpoint manager under the configured directory."""
         if self.config.checkpoint_dir is None:
@@ -257,6 +284,7 @@ class ExperimentRunner:
                 checkpoint=self._checkpoint_manager(name),
                 channel=channel,
                 scheduler=scheduler,
+                resilience=self.resilience_manager(),
             )
             start = time.perf_counter()
             training = algorithm.run()
@@ -278,6 +306,7 @@ class ExperimentRunner:
         # create_algorithm drops the scheduler for algorithms that ignore
         # scheduling; report only what actually drove the run.
         effective_scheduler = getattr(algorithm, "scheduler", None)
+        effective_resilience = getattr(algorithm, "resilience", None)
         population_summary = None
         if directory is not None:
             population_summary = {
@@ -297,6 +326,11 @@ class ExperimentRunner:
             communication=channel.summary() if channel is not None else None,
             scheduling=effective_scheduler.summary() if effective_scheduler is not None else None,
             population=population_summary,
+            resilience=(
+                effective_resilience.summary(backend)
+                if effective_resilience is not None
+                else None
+            ),
         )
 
     def run(self, algorithms: Optional[Sequence[str]] = None) -> ExperimentResult:

@@ -106,6 +106,7 @@ from repro.fl.transport import (
     Payload,
     QuantizationCodec,
     TopKCodec,
+    TransportDecodeError,
     create_channel,
 )
 from repro.fl.scheduling import (
@@ -140,6 +141,18 @@ from repro.fl.execution import (
     SerialBackend,
     create_backend,
     default_worker_count,
+)
+from repro.fl.faults import (
+    ClientExecutionError,
+    FaultPlan,
+    InjectedFault,
+    QuorumFailure,
+    ResilienceManager,
+    ResilienceSummary,
+    RetryPolicy,
+    TaskFailure,
+    create_resilience,
+    resilience_requested,
 )
 from repro.fl.evaluation import (
     EvaluationRow,
@@ -216,6 +229,7 @@ def create_algorithm(
     channel: Optional[Channel] = None,
     scheduler: Optional[RoundScheduler] = None,
     server: Optional[FederatedServer] = None,
+    resilience: Optional[ResilienceManager] = None,
 ) -> FederatedAlgorithm:
     """Instantiate a training algorithm from the registry by name.
 
@@ -246,6 +260,14 @@ def create_algorithm(
         policy (sync / deadline / fedbuff).  A scheduler is stateful; use a
         fresh one per algorithm run.  Ignored (with a warning) by the
         algorithms that still run their full cohort every round.
+    resilience:
+        Optional :class:`~repro.fl.faults.ResilienceManager` enabling the
+        fault-tolerant runtime (deterministic fault injection, supervised
+        retries with backoff, quorum-gated round commits).  Stateful; use a
+        fresh one per algorithm run (or build via
+        :func:`~repro.fl.faults.create_resilience`).  Ignored (with a
+        warning) by the algorithms whose round loops cannot degrade
+        gracefully yet.
     """
     key = name.lower()
     if key not in ALGORITHMS:
@@ -265,6 +287,13 @@ def create_algorithm(
             stacklevel=2,
         )
         scheduler = None
+    if resilience is not None and not cls.supports_resilience:
+        warnings.warn(
+            f"algorithm {key!r} does not support fault tolerance; the quorum/fault/"
+            "retry options are ignored (a client failure aborts the run)",
+            stacklevel=2,
+        )
+        resilience = None
     return cls(
         clients,
         model_factory,
@@ -274,6 +303,7 @@ def create_algorithm(
         checkpoint=checkpoint,
         channel=channel,
         scheduler=scheduler,
+        resilience=resilience,
     )
 
 
@@ -287,6 +317,16 @@ __all__ = [
     "ClientUpdate",
     "create_backend",
     "default_worker_count",
+    "FaultPlan",
+    "RetryPolicy",
+    "ResilienceManager",
+    "ResilienceSummary",
+    "create_resilience",
+    "resilience_requested",
+    "InjectedFault",
+    "TaskFailure",
+    "ClientExecutionError",
+    "QuorumFailure",
     "CheckpointManager",
     "RoundCheckpoint",
     "FLConfig",
@@ -373,6 +413,7 @@ __all__ = [
     "IdentityCodec",
     "QuantizationCodec",
     "TopKCodec",
+    "TransportDecodeError",
     "Payload",
     "Channel",
     "ChannelSummary",

@@ -18,6 +18,7 @@ from repro.fl.execution import (
     RoundCheckpoint,
     SerialBackend,
 )
+from repro.fl.faults import ResilienceManager
 from repro.fl.parameters import State, clone_state, flat_model_state
 from repro.fl.scheduling import RoundScheduler
 from repro.fl.server import FederatedServer
@@ -121,6 +122,12 @@ class FederatedAlgorithm:
     #: family supports it.
     supports_fedbuff: bool = False
 
+    #: Whether :meth:`run` honors a :class:`~repro.fl.faults.ResilienceManager`
+    #: (fault injection, supervised retries, quorum-gated round commits).
+    #: True for the global-state algorithms whose round loops can degrade
+    #: gracefully; the personalized algorithms currently ignore resilience.
+    supports_resilience: bool = False
+
     def __init__(
         self,
         clients: Sequence[FederatedClient],
@@ -131,6 +138,7 @@ class FederatedAlgorithm:
         checkpoint: Optional[CheckpointManager] = None,
         channel: Optional[Channel] = None,
         scheduler: Optional[RoundScheduler] = None,
+        resilience: Optional[ResilienceManager] = None,
     ):
         if not clients:
             raise ValueError("at least one client is required")
@@ -143,6 +151,7 @@ class FederatedAlgorithm:
         self.checkpoint = checkpoint
         self.channel = channel
         self.scheduler = scheduler
+        self.resilience = resilience
         if scheduler is not None:
             scheduler.bind(self.clients)
             if scheduler.policy == "fedbuff" and not self.supports_fedbuff:
@@ -150,6 +159,18 @@ class FederatedAlgorithm:
                     f"algorithm {self.name!r} does not support the fedbuff round "
                     "policy; choose sync or deadline (or run fedavg/fedprox)"
                 )
+        if resilience is not None:
+            if scheduler is not None and scheduler.policy == "fedbuff":
+                raise ValueError(
+                    "fault tolerance (quorum/faults/retries) is not supported under "
+                    "the fedbuff round policy yet; choose sync or deadline"
+                )
+            # Retry backoff elapses on the scheduler's virtual clock when
+            # one exists, so waits and straggler latencies share a timeline.
+            resilience.bind(
+                self.clients,
+                clock=scheduler.clock if scheduler is not None else None,
+            )
         if channel is not None and checkpoint is not None:
             if channel.error_feedback:
                 logger.warning(
@@ -294,6 +315,11 @@ class FederatedAlgorithm:
         tasks, finish = self._prepare_client_tasks(
             states, steps, proximal_mu, op, transport, upload_names, cohort
         )
+        if self.resilience is not None:
+            # Supervised dispatch: fault injection, retries with backoff,
+            # per-client RNG snapshot/restore.  Clients that exhaust their
+            # retries are simply absent from the returned list.
+            return list(self.resilience.supervise(self.backend, tasks, finish, self.clients))
         updates = self.backend.map(tasks)
         for update in updates:
             finish(update)
@@ -320,6 +346,9 @@ class FederatedAlgorithm:
         tasks, finish = self._prepare_client_tasks(
             states, steps, proximal_mu, op, transport, upload_names, cohort
         )
+        if self.resilience is not None:
+            yield from self.resilience.supervise(self.backend, tasks, finish, self.clients)
+            return
         for update in self.backend.imap(tasks):
             finish(update)
             yield update
@@ -365,6 +394,15 @@ class FederatedAlgorithm:
             # silently blend trajectories.  GEMV runs omit the key so
             # checkpoints from before the aggregation tier stay resumable.
             fingerprint["aggregation"] = self.server.aggregator.name
+        if self.resilience is not None and self.resilience.plan.any_faults:
+            # Resuming a chaos run under a different fault plan would
+            # silently change which clients fail; fault-free (or
+            # resilience-less) runs omit the key so their checkpoints stay
+            # interchangeable with pre-resilience ones.  Quorum and the
+            # retry policy are deliberately *excluded*: they are
+            # operational knobs a resume may legitimately relax (e.g.
+            # lowering --quorum to get past the round that failed).
+            fingerprint["faults"] = self.resilience.describe()
         fingerprint.update({
             "algorithm": self.name,
             "seed": self.config.seed,
@@ -419,6 +457,12 @@ class FederatedAlgorithm:
             # same cohorts and reports the same totals as an uninterrupted
             # one.
             self.scheduler.set_state(resumed.extra_meta["scheduler_state"])
+        if self.resilience is not None and "resilience_state" in resumed.extra_meta:
+            # Restore the fault plan's draw counters, the permanent-failure
+            # set, and the retry accounting, so the resumed chaos run
+            # replays the exact fault/retry sequence of an uninterrupted
+            # one and reports the same totals.
+            self.resilience.set_state(resumed.extra_meta["resilience_state"])
         logger.info(
             "%s: resuming from checkpoint round %d in %s",
             self.name,
@@ -448,6 +492,8 @@ class FederatedAlgorithm:
             meta["fingerprint"] = self.checkpoint_fingerprint()
             if self.scheduler is not None:
                 meta["scheduler_state"] = self.scheduler.state()
+            if self.resilience is not None:
+                meta["resilience_state"] = self.resilience.state()
             self.checkpoint.save(
                 round_index,
                 global_state,
@@ -480,6 +526,17 @@ class FederatedAlgorithm:
         release = getattr(self.clients[client_index], "release", None)
         if release is not None:
             release()
+
+    def _auto_checkpoint_dir(self) -> Optional[str]:
+        """Where a quorum failure's auto-checkpoint lives (if anywhere).
+
+        Checkpoints are saved eagerly at the end of every committed round,
+        so the latest checkpoint on disk *is* the resume point when a later
+        round fails quorum — no extra save happens at failure time (a
+        re-save would have to reconstruct per-algorithm extra states like
+        server momentum mid-round).
+        """
+        return str(self.checkpoint.directory) if self.checkpoint is not None else None
 
     def _begin_fold(self, global_state: State):
         """A fresh accumulator for one round's server aggregation."""
@@ -551,13 +608,47 @@ class FederatedAlgorithm:
     def _run_unscheduled_rounds(
         self, result: TrainingResult, global_state: State, start_round: int
     ) -> State:
-        """Full-cohort synchronous rounds (the pre-scheduling behavior)."""
+        """Full-cohort synchronous rounds (the pre-scheduling behavior).
+
+        With a resilience manager attached the cohort excludes permanently
+        failed clients, the round only commits at quorum (raising the typed
+        :class:`~repro.fl.faults.QuorumFailure` below it), and clients that
+        exhausted their retries this round are dropped for good with a
+        recorded weight renormalization.  Without one, the loop is the
+        pre-resilience code path bit for bit.
+        """
         mu = self._local_proximal_mu()
+        resilience = self.resilience
         for round_index in range(start_round, self.config.rounds):
-            updates = self.map_client_updates(
-                global_state, steps=self.config.local_steps, proximal_mu=mu
-            )
+            if resilience is None:
+                updates = self.map_client_updates(
+                    global_state, steps=self.config.local_steps, proximal_mu=mu
+                )
+            else:
+                resilience.begin_round(round_index)
+                cohort = resilience.active_cohort(range(len(self.clients)))
+                updates = (
+                    self.map_client_updates(
+                        global_state,
+                        steps=self.config.local_steps,
+                        proximal_mu=mu,
+                        cohort=cohort,
+                    )
+                    if cohort
+                    else []
+                )
+                resilience.check_quorum(
+                    round_index,
+                    arrived=len(updates),
+                    cohort_size=len(cohort),
+                    checkpoint_dir=self._auto_checkpoint_dir(),
+                )
+            # Drops commit *before* the aggregation step so the round's
+            # checkpoint (saved inside _finalize_round) already carries the
+            # updated permanent-failure set.
+            commit_extra = resilience.commit_round(self.client_weights()) if resilience else {}
             global_state, extra = self._global_round(round_index, global_state, updates)
+            extra = {**extra, **commit_extra}
             per_client_loss = {
                 update.client_id: update.stats.mean_loss for update in updates
             }
@@ -579,8 +670,16 @@ class FederatedAlgorithm:
         :meth:`_global_round`.
         """
         scheduler = self.scheduler
+        resilience = self.resilience
         for round_index in range(start_round, self.config.rounds):
             plan = scheduler.begin_round(round_index)
+            if resilience is not None:
+                resilience.begin_round(round_index)
+                # Permanently failed clients leave the cohort *before* any
+                # latency draw, so the latency RNG never spends entropy on
+                # clients that cannot participate.
+                plan.cohort = resilience.active_cohort(plan.cohort)
+            attempted = len(plan.cohort)
             if self.server.streaming and plan.cohort:
                 global_state, extra, per_client_loss = self._stream_scheduled_round(
                     round_index, global_state, plan
@@ -596,9 +695,25 @@ class FederatedAlgorithm:
                     if plan.cohort
                     else []
                 )
+                if resilience is not None:
+                    # Clients that exhausted their retries produced no
+                    # update; shrink the plan to the arrivals so the
+                    # scheduler's alignment contract holds.
+                    plan.cohort = [update.client_index for update in updates]
                 outcome = scheduler.complete_round(plan, updates)
+                if resilience is not None:
+                    resilience.check_quorum(
+                        round_index,
+                        arrived=len(outcome.kept),
+                        cohort_size=attempted,
+                        checkpoint_dir=self._auto_checkpoint_dir(),
+                    )
+                # Drops commit *before* the aggregation step so the round's
+                # checkpoint (saved inside _finalize_round) already carries
+                # the updated permanent-failure set.
+                commit_extra = resilience.commit_round(self.client_weights()) if resilience else {}
                 global_state, extra = self._global_round(round_index, global_state, outcome.kept)
-                extra = {**extra, **outcome.record_extra}
+                extra = {**extra, **outcome.record_extra, **commit_extra}
                 per_client_loss = {
                     update.client_id: update.stats.mean_loss for update in outcome.kept
                 }
@@ -619,6 +734,8 @@ class FederatedAlgorithm:
         cohort size.
         """
         scheduler = self.scheduler
+        resilience = self.resilience
+        attempted = len(plan.cohort)
         latencies = scheduler.arrival_schedule(plan)
         deadline = scheduler.deadline if scheduler.policy == "deadline" else None
         accumulator = self._begin_fold(global_state)
@@ -636,10 +753,26 @@ class FederatedAlgorithm:
                 per_client_loss[update.client_id] = update.stats.mean_loss
             update.state = None
             self._release_client(update.client_index)
+        if resilience is not None:
+            # Clients that exhausted their retries produced no update;
+            # shrink the plan (and its pre-drawn latencies) to the arrivals
+            # so the scheduler's alignment contract holds, and gate the
+            # commit on the number of updates actually *folded*.
+            plan.cohort = [update.client_index for update in updates]
+            latencies = {index: latencies[index] for index in plan.cohort}
+            resilience.check_quorum(
+                round_index,
+                arrived=accumulator.count,
+                cohort_size=attempted,
+                checkpoint_dir=self._auto_checkpoint_dir(),
+            )
         outcome = scheduler.complete_round(plan, updates, latencies=latencies)
+        # Drops commit *before* _finalize_round so the round's checkpoint
+        # already carries the updated permanent-failure set.
+        commit_extra = resilience.commit_round(self.client_weights()) if resilience else {}
         self.server.record_folds(accumulator.count)
         global_state, extra = self._finalize_round(round_index, global_state, accumulator)
-        return global_state, {**extra, **outcome.record_extra}, per_client_loss
+        return global_state, {**extra, **outcome.record_extra, **commit_extra}, per_client_loss
 
     # -- interface ------------------------------------------------------------------
     def run(self) -> TrainingResult:

@@ -31,6 +31,7 @@ class DPFedProx(FederatedAlgorithm):
     name = "dp_fedprox"
     supports_checkpointing = True
     supports_scheduling = True
+    supports_resilience = True
 
     def __init__(
         self,

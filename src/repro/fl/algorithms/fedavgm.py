@@ -36,6 +36,7 @@ class FedAvgM(FederatedAlgorithm):
     name = "fedavgm"
     supports_checkpointing = True
     supports_scheduling = True
+    supports_resilience = True
 
     #: Server momentum coefficient; subclasses or experiments may override.
     server_momentum: float = 0.9

@@ -57,6 +57,7 @@ class FedProx(FederatedAlgorithm):
     supports_checkpointing = True
     supports_scheduling = True
     supports_fedbuff = True
+    supports_resilience = True
 
     def proximal_mu(self) -> float:
         """Proximal strength; overridden by :class:`FedAvg`."""

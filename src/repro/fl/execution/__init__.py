@@ -20,11 +20,14 @@ from repro.fl.execution.backend import (
     run_client_task,
 )
 from repro.fl.execution.checkpoint import CheckpointManager, RoundCheckpoint
+from repro.fl.faults.errors import ClientExecutionError, TaskFailure
 
 __all__ = [
     "BACKENDS",
     "ClientTask",
     "ClientUpdate",
+    "ClientExecutionError",
+    "TaskFailure",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",

@@ -78,10 +78,13 @@ import logging
 import multiprocessing
 import os
 import pickle
-from concurrent.futures import ThreadPoolExecutor
+import traceback as traceback_module
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
+from repro.fl.faults.errors import ClientExecutionError, TaskFailure
 from repro.fl.parameters import State, flat_pair, wrap_flat
 from repro.fl.trainer import StepStatistics
 from repro.utils.threadpools import (
@@ -213,6 +216,9 @@ class ExecutionBackend:
     def __init__(self, blas_threads: BlasPolicy = BLAS_AUTO):
         self._clients: List = []
         self.blas_threads = check_blas_policy(blas_threads)
+        #: Worker-pool respawns after a detected worker death or abandoned
+        #: task (always 0 for the in-process backends).
+        self.respawns = 0
 
     def resolved_blas_threads(self, pool_size: int) -> Optional[int]:
         """Per-worker BLAS thread count for a pool of ``pool_size`` workers."""
@@ -231,8 +237,22 @@ class ExecutionBackend:
     def clients(self) -> List:
         return self._clients
 
-    def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
-        """Execute every task and return outcomes aligned with ``tasks``."""
+    def imap_outcomes(
+        self, tasks: Sequence[ClientTask], timeout: Optional[float] = None
+    ) -> Iterator[Union[ClientUpdate, TaskFailure]]:
+        """Yield one outcome per task, in task order, **never raising** per task.
+
+        The supervised-execution primitive every backend implements: a task
+        that fails (worker exception, dead worker process, exceeded
+        ``timeout``) yields a :class:`~repro.fl.faults.TaskFailure` *value*
+        in its slot instead of killing the iterator, so the resilience
+        layer can retry individual clients while the rest of the wave keeps
+        streaming.  ``timeout`` is a best-effort per-task wall-clock bound:
+        the process pool abandons (and respawns around) a late task, the
+        thread pool stops waiting (the thread itself cannot be reclaimed),
+        and the serial backend ignores it — a task it runs has, by
+        construction, already finished when it could be checked.
+        """
         raise NotImplementedError
 
     def imap(self, tasks: Sequence[ClientTask]) -> Iterator[ClientUpdate]:
@@ -240,10 +260,26 @@ class ExecutionBackend:
 
         Streaming aggregation folds each update as it is yielded and then
         releases it, so the coordinating process never holds a whole
-        cohort's worth of states.  Backends override this to yield results
-        as they complete; the default materializes :meth:`map`.
+        cohort's worth of states.  A failed task raises a
+        :class:`~repro.fl.faults.ClientExecutionError` annotated with the
+        client id and backend (instead of a bare worker traceback or
+        ``BrokenProcessPool``).
         """
-        return iter(self.map(tasks))
+        for outcome in self.imap_outcomes(tasks):
+            if isinstance(outcome, TaskFailure):
+                raise ClientExecutionError(
+                    outcome.error,
+                    client_id=outcome.client_id,
+                    client_index=outcome.client_index,
+                    backend=self.name,
+                    kind=outcome.kind,
+                    remote_traceback=outcome.traceback,
+                )
+            yield outcome
+
+    def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
+        """Execute every task and return outcomes aligned with ``tasks``."""
+        return list(self.imap(tasks))
 
     def close(self) -> None:
         """Release any worker resources; the backend may be re-used after."""
@@ -267,19 +303,31 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
-        return list(self.imap(tasks))
-
-    def imap(self, tasks: Sequence[ClientTask]) -> Iterator[ClientUpdate]:
+    def imap_outcomes(
+        self, tasks: Sequence[ClientTask], timeout: Optional[float] = None
+    ) -> Iterator[Union[ClientUpdate, TaskFailure]]:
+        # ``timeout`` is ignored: by the time a serial task could be
+        # checked against a deadline it has already finished.
         _check_one_task_per_client(tasks)
         # Under the default "auto" policy this resolves to None (a no-op):
         # serial execution wants BLAS spreading one client's GEMMs across
         # every core, which is its out-of-the-box behavior.  An explicit
         # integer policy pins the round and restores the prior count after.
         with blas_thread_limit(self.resolved_blas_threads(1)):
-            for task in tasks:
+            for position, task in enumerate(tasks):
                 client = self._clients[task.client_index]
-                state, payload, stats = run_client_task(client, task)
+                try:
+                    state, payload, stats = run_client_task(client, task)
+                except Exception as error:
+                    yield TaskFailure(
+                        task_index=position,
+                        client_index=task.client_index,
+                        client_id=client.client_id,
+                        kind="exception",
+                        error=repr(error),
+                        traceback=traceback_module.format_exc(),
+                    )
+                    continue
                 yield ClientUpdate(
                     client_index=task.client_index,
                     client_id=client.client_id,
@@ -310,18 +358,51 @@ def _init_worker(clients: List, blas_threads: Optional[int] = None) -> None:
         set_blas_threads(blas_threads)
 
 
+@dataclass
+class _WorkerFailure:
+    """A worker-side task failure, shipped back as a picklable value.
+
+    Raising inside a pool worker would cross the process boundary as an
+    opaque re-raised traceback (or, for unpicklable exceptions, kill the
+    pool); returning this value instead keeps the pool healthy and lets
+    the parent attach client/backend/round context.
+    """
+
+    client_index: int
+    op: str
+    error: str
+    traceback: str
+
+
 def _worker_run_task(payload):
     index, op, blob, is_wire, steps, proximal_mu, rng_state = payload
-    if isinstance(blob, bytes):
-        blob = pickle.loads(blob)
-    client = _WORKER_CLIENTS[index]
-    client.rng_state = rng_state
-    if is_wire:
-        task = ClientTask(client_index=index, wire=blob, op=op, steps=steps, proximal_mu=proximal_mu)
-    else:
-        task = ClientTask(client_index=index, state=blob, op=op, steps=steps, proximal_mu=proximal_mu)
-    new_state, upload_payload, stats = run_client_task(client, task)
-    rng_state = client.rng_state
+    client = None
+    try:
+        if isinstance(blob, bytes):
+            blob = pickle.loads(blob)
+        client = _WORKER_CLIENTS[index]
+        client.rng_state = rng_state
+        if is_wire:
+            task = ClientTask(client_index=index, wire=blob, op=op, steps=steps, proximal_mu=proximal_mu)
+        else:
+            task = ClientTask(client_index=index, state=blob, op=op, steps=steps, proximal_mu=proximal_mu)
+        new_state, upload_payload, stats = run_client_task(client, task)
+        rng_state = client.rng_state
+    except Exception as error:
+        # Free the (possibly virtual) client on the failure path too, then
+        # ship the failure back as a value — see _WorkerFailure.
+        release = getattr(client, "release", None)
+        if release is not None:
+            try:
+                release()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+        return _WorkerFailure(
+            client_index=index,
+            op=op,
+            error=repr(error),
+            traceback=traceback_module.format_exc(),
+        )
     # Virtual client handles (population runs) free the materialized client
     # between tasks so worker memory stays bounded by the in-flight task,
     # not the roster; the captured RNG state is what the parent needs.
@@ -370,6 +451,16 @@ class ProcessPoolBackend(ExecutionBackend):
     Each task then only transfers the initial state in and the updated state,
     step statistics, and RNG state out.
 
+    The pool is a ``concurrent.futures.ProcessPoolExecutor``, which —
+    unlike ``multiprocessing.Pool`` — *detects* a worker process dying
+    (``BrokenProcessPool``) instead of hanging the round.  On a detected
+    death the backend respawns the pool (``respawns`` counts these;
+    ``spawn_count`` still witnesses warm-pool reuse for healthy runs) and
+    re-dispatches the in-flight tasks from their original payloads, whose
+    pre-captured RNG states make the re-run bit-identical.  A task whose
+    worker dies repeatedly, or that exceeds the per-task ``timeout``,
+    yields a :class:`~repro.fl.faults.TaskFailure` in its slot.
+
     Parameters
     ----------
     workers:
@@ -390,6 +481,10 @@ class ProcessPoolBackend(ExecutionBackend):
 
     name = "process"
 
+    #: Consecutive worker deaths tolerated per task position within one
+    #: ``imap_outcomes`` call before the task yields a crash failure.
+    MAX_REDISPATCHES = 2
+
     def __init__(
         self,
         workers: Optional[int] = None,
@@ -404,7 +499,7 @@ class ProcessPoolBackend(ExecutionBackend):
         if start_method is None:
             start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         self.start_method = start_method
-        self._pool = None
+        self._pool: Optional[ProcessPoolExecutor] = None
         #: Number of worker-pool spawns over this backend's lifetime.  A
         #: multi-round run must report exactly 1 (the warm-pool guarantee,
         #: regression-tested): workers are spawned lazily on the first
@@ -423,19 +518,49 @@ class ProcessPoolBackend(ExecutionBackend):
             self.close()
         super().bind(roster)
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             if not self._clients:
                 raise RuntimeError("ProcessPoolBackend.map called before bind()")
             context = multiprocessing.get_context(self.start_method)
             processes = max(1, min(self.effective_workers, len(self._clients)))
-            self._pool = context.Pool(
-                processes=processes,
+            self._pool = ProcessPoolExecutor(
+                max_workers=processes,
+                mp_context=context,
                 initializer=_init_worker,
                 initargs=(self._clients, self.resolved_blas_threads(processes)),
             )
             self.spawn_count += 1
         return self._pool
+
+    def _respawn(self) -> ProcessPoolExecutor:
+        """Replace a broken/abandoned pool with a fresh one."""
+        self._shutdown_pool(kill=True)
+        self.respawns += 1
+        logger.warning(
+            "process pool lost a worker; respawning (respawn #%d)", self.respawns
+        )
+        return self._ensure_pool()
+
+    def _shutdown_pool(self, kill: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            # A worker may be dead or wedged on an abandoned task; don't
+            # wait on it.  Terminate the worker processes the way
+            # multiprocessing.Pool.terminate() did, then reap without
+            # blocking.
+            pool.shutdown(wait=False, cancel_futures=True)
+            # _processes may already be None once the executor has fully
+            # shut down (e.g. every worker died and reaping finished).
+            for process in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def _payloads(self, tasks: Sequence[ClientTask]) -> List[tuple]:
         # Broadcast rounds pass the *same* state (or wire envelope) object in
@@ -474,29 +599,87 @@ class ProcessPoolBackend(ExecutionBackend):
             payload=upload_payload,
         )
 
-    def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
-        if not tasks:
-            return []
-        _check_one_task_per_client(tasks)
-        pool = self._ensure_pool()
-        raw = pool.map(_worker_run_task, self._payloads(tasks))
-        return [self._to_update(task, result) for task, result in zip(tasks, raw)]
+    def _resubmit(self, pool, futures, payloads, start: int) -> None:
+        """Re-dispatch positions >= ``start`` that have no usable result.
 
-    def imap(self, tasks: Sequence[ClientTask]) -> Iterator[ClientUpdate]:
+        Futures that completed before the pool broke keep their results;
+        everything else is resubmitted from its *original* payload, whose
+        pre-captured RNG state makes the re-run bit-identical.
+        """
+        for position in range(start, len(payloads)):
+            future = futures[position]
+            done_ok = future.done() and not future.cancelled() and future.exception() is None
+            if not done_ok:
+                futures[position] = pool.submit(_worker_run_task, payloads[position])
+
+    def imap_outcomes(
+        self, tasks: Sequence[ClientTask], timeout: Optional[float] = None
+    ) -> Iterator[Union[ClientUpdate, TaskFailure]]:
         if not tasks:
             return
         _check_one_task_per_client(tasks)
         pool = self._ensure_pool()
-        # pool.imap yields in submission order as results land, so the
-        # coordinator folds update i while updates i+1.. are still training.
-        for task, result in zip(tasks, pool.imap(_worker_run_task, self._payloads(tasks))):
-            yield self._to_update(task, result)
+        payloads = self._payloads(tasks)
+        futures = [pool.submit(_worker_run_task, payload) for payload in payloads]
+        redispatches = [0] * len(tasks)
+        position = 0
+        # Futures are drained in submission order, so the coordinator folds
+        # update i while updates i+1.. are still training (pool.imap's
+        # streaming behavior, with failure detection on top).
+        while position < len(tasks):
+            task = tasks[position]
+            client = self._clients[task.client_index]
+            try:
+                raw = futures[position].result(timeout=timeout)
+            except BrokenExecutor as error:
+                # A worker died; every pending future is lost.  Respawn and
+                # re-dispatch the in-flight tasks, giving the victim a
+                # bounded number of fresh chances.
+                pool = self._respawn()
+                redispatches[position] += 1
+                if redispatches[position] > self.MAX_REDISPATCHES:
+                    yield TaskFailure(
+                        task_index=position,
+                        client_index=task.client_index,
+                        client_id=client.client_id,
+                        kind="crash",
+                        error=(
+                            f"worker process died {redispatches[position]} times "
+                            f"running this task ({error!r})"
+                        ),
+                    )
+                    position += 1
+                self._resubmit(pool, futures, payloads, position)
+                continue
+            except FuturesTimeoutError:
+                # The worker is still running an abandoned task; it cannot
+                # be trusted to pick up new work, so the pool is respawned.
+                yield TaskFailure(
+                    task_index=position,
+                    client_index=task.client_index,
+                    client_id=client.client_id,
+                    kind="timeout",
+                    error=f"task exceeded the {timeout:g}s per-task timeout",
+                )
+                pool = self._respawn()
+                position += 1
+                self._resubmit(pool, futures, payloads, position)
+                continue
+            if isinstance(raw, _WorkerFailure):
+                yield TaskFailure(
+                    task_index=position,
+                    client_index=task.client_index,
+                    client_id=client.client_id,
+                    kind="exception",
+                    error=raw.error,
+                    traceback=raw.traceback,
+                )
+            else:
+                yield self._to_update(task, raw)
+            position += 1
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        self._shutdown_pool(kill=False)
 
 
 class ThreadPoolBackend(ExecutionBackend):
@@ -564,22 +747,42 @@ class ThreadPoolBackend(ExecutionBackend):
             payload=payload,
         )
 
-    def map(self, tasks: Sequence[ClientTask]) -> List[ClientUpdate]:
-        if not tasks:
-            return []
-        _check_one_task_per_client(tasks)
-        executor = self._ensure_executor()
-        with blas_thread_limit(self.resolved_blas_threads(self._pool_size())):
-            return list(executor.map(self._run_one, tasks))
-
-    def imap(self, tasks: Sequence[ClientTask]) -> Iterator[ClientUpdate]:
+    def imap_outcomes(
+        self, tasks: Sequence[ClientTask], timeout: Optional[float] = None
+    ) -> Iterator[Union[ClientUpdate, TaskFailure]]:
         if not tasks:
             return
         _check_one_task_per_client(tasks)
         executor = self._ensure_executor()
-        # Executor.map yields results in submission order as they complete.
+        # Futures are drained in submission order as they complete
+        # (Executor.map's streaming behavior, with failure capture on top).
+        # ``timeout`` is best-effort here: the coordinator stops *waiting*
+        # for a late task, but an in-process thread cannot be reclaimed —
+        # it runs to completion in the background.
         with blas_thread_limit(self.resolved_blas_threads(self._pool_size())):
-            yield from executor.map(self._run_one, tasks)
+            futures = [executor.submit(self._run_one, task) for task in tasks]
+            for position, (task, future) in enumerate(zip(tasks, futures)):
+                client = self._clients[task.client_index]
+                try:
+                    yield future.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    future.cancel()
+                    yield TaskFailure(
+                        task_index=position,
+                        client_index=task.client_index,
+                        client_id=client.client_id,
+                        kind="timeout",
+                        error=f"task exceeded the {timeout:g}s per-task timeout",
+                    )
+                except Exception as error:
+                    yield TaskFailure(
+                        task_index=position,
+                        client_index=task.client_index,
+                        client_id=client.client_id,
+                        kind="exception",
+                        error=repr(error),
+                        traceback=traceback_module.format_exc(),
+                    )
 
     def close(self) -> None:
         if self._executor is not None:

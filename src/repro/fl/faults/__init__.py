@@ -1,0 +1,64 @@
+"""Fault-tolerant federation runtime: deterministic chaos, retries, quorum.
+
+This subpackage turns client failure from a run-ending traceback into a
+first-class, *deterministic* part of the simulation:
+
+:class:`FaultPlan`
+    Seeded, checkpointable per-client fault probabilities (crash /
+    exception / timeout / payload corruption) drawn from counter-based
+    RNGs, so a chaos run is bit-reproducible on every backend and
+    resumable mid-run.
+:class:`RetryPolicy`
+    Bounded retries with exponential, deterministically jittered backoff
+    that elapses on the virtual clock.
+:class:`ResilienceManager`
+    The supervisor wiring both into the execution backends and the round
+    loops: RNG-snapshot/restore around failed attempts, wave-based
+    re-dispatch, quorum-gated round commits, and permanent drops with
+    recorded weight renormalization.
+
+Build one from flat options with :func:`create_resilience`, which returns
+``None`` at the inert defaults so default runs take the pre-resilience
+code paths bit for bit.
+"""
+
+from repro.fl.faults.errors import (
+    ClientExecutionError,
+    InjectedCorruption,
+    InjectedCrash,
+    InjectedException,
+    InjectedFault,
+    InjectedTimeout,
+    QuorumFailure,
+    TaskFailure,
+)
+from repro.fl.faults.plan import FAULT_KINDS, FAULT_SEED_TAG, FaultDecision, FaultPlan
+from repro.fl.faults.retry import DEFAULT_MAX_RETRIES, RETRY_SEED_TAG, RetryPolicy
+from repro.fl.faults.supervisor import (
+    ResilienceManager,
+    ResilienceSummary,
+    create_resilience,
+    resilience_requested,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SEED_TAG",
+    "RETRY_SEED_TAG",
+    "DEFAULT_MAX_RETRIES",
+    "FaultDecision",
+    "FaultPlan",
+    "RetryPolicy",
+    "ResilienceManager",
+    "ResilienceSummary",
+    "create_resilience",
+    "resilience_requested",
+    "InjectedFault",
+    "InjectedCrash",
+    "InjectedException",
+    "InjectedTimeout",
+    "InjectedCorruption",
+    "TaskFailure",
+    "ClientExecutionError",
+    "QuorumFailure",
+]

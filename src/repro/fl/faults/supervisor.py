@@ -1,0 +1,426 @@
+"""The resilience manager: supervised dispatch, retries, quorum, drops.
+
+:class:`ResilienceManager` sits between an algorithm's round loop and its
+execution backend.  Each client pass becomes a sequence of *waves*:
+
+1. Snapshot every pending client's RNG state, then ask the
+   :class:`~repro.fl.faults.FaultPlan` whether this attempt fails.
+   ``crash``/``exception``/``timeout`` strike *before* dispatch (the task
+   never runs, the client RNG never advances — uniform semantics across
+   serial/thread/process); ``corruption`` lets the task run and then flips
+   a byte of its upload payload while keeping the original CRC, so the
+   genuine framing check rejects it at decode.
+2. Dispatch the surviving tasks through the backend's ``imap_outcomes``,
+   which yields a :class:`~repro.fl.faults.TaskFailure` *value* for any
+   task that really died (worker crash, timeout, exception) instead of
+   raising — so one dead task cannot kill the wave.
+3. Every failed client has its RNG snapshot restored and is re-dispatched
+   in the next wave after a deterministic backoff on the **virtual clock**
+   (:class:`~repro.fl.faults.RetryPolicy`), until it succeeds or exhausts
+   its retries (``gave_up``).
+
+A fault-free supervised pass is exactly one wave in task order with zero
+extra RNG draws, so it is bit-identical to the unsupervised path — the
+contract the parity tests pin down.
+
+Round-level degradation lives here too: :meth:`active_cohort` filters
+permanently failed clients out of future cohorts, :meth:`check_quorum`
+raises the typed :class:`~repro.fl.faults.QuorumFailure` when too few
+updates fold, and :meth:`commit_round` converts this round's ``gave_up``
+clients into permanent drops with a recorded weight renormalization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.fl.faults.errors import InjectedFault, QuorumFailure, TaskFailure
+from repro.fl.faults.plan import FaultDecision, FaultPlan
+from repro.fl.faults.retry import DEFAULT_MAX_RETRIES, RetryPolicy
+from repro.fl.scheduling.clock import VirtualClock
+from repro.fl.transport.codecs import Payload
+from repro.fl.transport.errors import TransportDecodeError
+
+#: Fault kinds injected before dispatch (the task never runs).
+_PRE_DISPATCH_KINDS = ("crash", "exception", "timeout")
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Fault-tolerance totals of one run (surfaced through the report)."""
+
+    quorum: float
+    retries: int
+    gave_up: int
+    respawns: int
+    dropped_clients: List[int]
+    injected: Dict[str, int]
+    backoff_seconds: float
+    renormalizations: List[Dict[str, object]]
+    retry_policy: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "quorum": self.quorum,
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+            "respawns": self.respawns,
+            "dropped_clients": list(self.dropped_clients),
+            "injected": dict(self.injected),
+            "backoff_seconds": self.backoff_seconds,
+            "renormalizations": [dict(record) for record in self.renormalizations],
+            "retry_policy": self.retry_policy,
+        }
+
+
+@dataclass
+class _Attempt:
+    """One task's supervision state across waves."""
+
+    task: object
+    attempt: int = 0
+    rng_snapshot: Optional[dict] = None
+    decision: FaultDecision = field(default_factory=lambda: FaultDecision(kind=None))
+
+
+def _corrupt_payload(payload: Optional[Payload], salt: int) -> Optional[Payload]:
+    """Flip one byte of ``payload.data`` while keeping the original CRC.
+
+    Returns ``None`` when there is nothing to corrupt (no payload / empty
+    data) — the caller then injects the fault as an exception instead.
+    """
+    if payload is None or len(payload.data) == 0:
+        return None
+    data = bytearray(payload.data)
+    position = salt % len(data)
+    data[position] ^= ((salt >> 7) % 255) + 1
+    return Payload(codec=payload.codec, data=bytes(data), schema=payload.schema, crc=payload.crc)
+
+
+class ResilienceManager:
+    """Supervised execution with deterministic faults, retries, and quorum.
+
+    One manager is stateful for one algorithm run (like a scheduler or a
+    channel): it owns the fault plan's draw counters, the permanent-failure
+    set, and the retry accounting, all of which round-trip through
+    :meth:`state`/:meth:`set_state` for checkpoint resume.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        quorum: float = 1.0,
+        clock: Optional[VirtualClock] = None,
+    ):
+        if not 0.0 < quorum <= 1.0:
+            raise ValueError(f"quorum must be in (0, 1], got {quorum}")
+        self.plan = plan if plan is not None else FaultPlan()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.quorum = float(quorum)
+        #: Virtual clock backoff elapses on.  Replaced by the scheduler's
+        #: clock at bind time so retry waits and straggler latencies share
+        #: one timeline.
+        self.clock = clock if clock is not None else VirtualClock()
+        # Run totals.
+        self.retries = 0
+        self.gave_up = 0
+        self.backoff_seconds = 0.0
+        # Roster indices permanently dropped from future cohorts.
+        self._failed: set = set()
+        self._renormalizations: List[Dict[str, object]] = []
+        # Per-round scratch.
+        self._round_index: Optional[int] = None
+        self._round_gave_up: List[int] = []
+        self._round_retries = 0
+        self._clients: Sequence = ()
+
+    # -- wiring -------------------------------------------------------------------
+    def bind(self, clients: Sequence, clock: Optional[VirtualClock] = None) -> None:
+        """Attach the roster (and, when scheduled, the scheduler's clock)."""
+        self._clients = clients
+        if clock is not None:
+            self.clock = clock
+
+    # -- cohort filtering / quorum -------------------------------------------------
+    def active_cohort(self, cohort: Iterable[int]) -> List[int]:
+        """``cohort`` minus the permanently failed clients."""
+        return [int(index) for index in cohort if int(index) not in self._failed]
+
+    @property
+    def failed_indices(self) -> List[int]:
+        """Roster indices permanently dropped so far (sorted)."""
+        return sorted(self._failed)
+
+    def quorum_required(self, cohort_size: int) -> int:
+        """Updates needed to commit a round over ``cohort_size`` clients."""
+        if cohort_size <= 0:
+            return 0
+        return int(math.ceil(self.quorum * cohort_size))
+
+    def check_quorum(
+        self,
+        round_index: int,
+        arrived: int,
+        cohort_size: int,
+        checkpoint_dir: Optional[str] = None,
+    ) -> None:
+        """Raise the typed :class:`QuorumFailure` when too few updates fold."""
+        required = self.quorum_required(cohort_size)
+        if arrived < required:
+            raise QuorumFailure(
+                round_index,
+                arrived=arrived,
+                required=required,
+                cohort_size=cohort_size,
+                checkpoint_dir=checkpoint_dir,
+            )
+
+    # -- round lifecycle -----------------------------------------------------------
+    def begin_round(self, round_index: int) -> None:
+        """Reset the per-round scratch state."""
+        self._round_index = int(round_index)
+        self._round_gave_up = []
+        self._round_retries = 0
+
+    def commit_round(self, weights: Sequence[float]) -> Dict[str, object]:
+        """Commit a round: permanently drop its ``gave_up`` clients.
+
+        ``weights`` are the full-roster aggregation weights ``n_k``; the
+        recorded renormalization says how much aggregation weight the run
+        lost (weighted averaging renormalizes over participants implicitly,
+        so recording — not rescaling — is the correct bookkeeping).
+        Returns extras for the round's history record.
+        """
+        extra: Dict[str, object] = {}
+        if self._round_retries:
+            extra["retries"] = self._round_retries
+        if self._round_gave_up:
+            dropped = sorted(set(self._round_gave_up))
+            self._failed.update(dropped)
+            total = float(sum(weights))
+            remaining = float(
+                sum(weight for index, weight in enumerate(weights) if index not in self._failed)
+            )
+            record: Dict[str, object] = {
+                "round": self._round_index,
+                "dropped_indices": dropped,
+                "dropped_ids": [
+                    getattr(self._clients[index], "client_id", index) for index in dropped
+                ],
+                "dropped_weight": total - remaining if total else 0.0,
+                "remaining_weight_fraction": (remaining / total) if total else 1.0,
+            }
+            self._renormalizations.append(record)
+            extra["dropped_clients"] = list(record["dropped_ids"])
+            extra["remaining_weight_fraction"] = record["remaining_weight_fraction"]
+        self._round_gave_up = []
+        self._round_retries = 0
+        return extra
+
+    # -- supervised dispatch -------------------------------------------------------
+    def supervise(
+        self,
+        backend,
+        tasks: Sequence,
+        finish: Callable,
+        clients: Sequence,
+    ) -> Iterator:
+        """Run ``tasks`` with fault injection, retries, and backoff.
+
+        Yields each successful :class:`~repro.fl.execution.ClientUpdate` as
+        soon as it survives ``finish`` (decode + channel accounting).
+        Clients that exhaust their retries yield nothing; they are recorded
+        as ``gave_up`` for :meth:`commit_round` to drop.
+        """
+        pending = [_Attempt(task=task) for task in tasks]
+        while pending:
+            failures: List[tuple] = []
+            dispatch: List[_Attempt] = []
+            for entry in pending:
+                client = clients[entry.task.client_index]
+                entry.rng_snapshot = client.rng_state
+                entry.decision = self.plan.draw(client.client_id)
+                if entry.decision.kind in _PRE_DISPATCH_KINDS:
+                    failures.append((entry, entry.decision.kind))
+                else:
+                    dispatch.append(entry)
+            if dispatch:
+                outcomes = backend.imap_outcomes(
+                    [entry.task for entry in dispatch],
+                    timeout=self.retry.task_timeout,
+                )
+                for entry, outcome in zip(dispatch, outcomes):
+                    if isinstance(outcome, TaskFailure):
+                        failures.append((entry, outcome.kind))
+                        continue
+                    update = outcome
+                    if entry.decision.kind == "corruption":
+                        corrupted = _corrupt_payload(update.payload, entry.decision.salt)
+                        if corrupted is None:
+                            # Nothing on the wire to corrupt (raw in-process
+                            # state): the fault degenerates to an exception.
+                            failures.append((entry, "corruption"))
+                            continue
+                        update.payload = corrupted
+                    try:
+                        finish(update)
+                    except TransportDecodeError:
+                        failures.append((entry, "corruption"))
+                        continue
+                    yield update
+            pending = self._next_wave(failures, clients)
+
+    def _next_wave(self, failures: List[tuple], clients: Sequence) -> List[_Attempt]:
+        """Restore RNG snapshots and schedule the retried attempts."""
+        next_wave: List[_Attempt] = []
+        for entry, _kind in failures:
+            client = clients[entry.task.client_index]
+            if entry.rng_snapshot is not None:
+                client.rng_state = entry.rng_snapshot
+            entry.attempt += 1
+            if entry.attempt > self.retry.max_retries:
+                self.gave_up += 1
+                self._round_gave_up.append(int(entry.task.client_index))
+                continue
+            self.retries += 1
+            self._round_retries += 1
+            wait = self.retry.backoff_seconds(client.client_id, entry.attempt)
+            if wait > 0.0:
+                self.clock.advance(wait)
+                self.backoff_seconds += wait
+            next_wave.append(entry)
+        return next_wave
+
+    # -- state / summary -----------------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """Everything needed to resume supervision bit-identically."""
+        return {
+            "plan": self.plan.state(),
+            "failed": sorted(self._failed),
+            "renormalizations": [dict(record) for record in self._renormalizations],
+            "counters": {
+                "retries": self.retries,
+                "gave_up": self.gave_up,
+                "backoff_seconds": self.backoff_seconds,
+            },
+            "clock": self.clock.state(),
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`state` (checkpoint resume)."""
+        self.plan.set_state(state["plan"])
+        self._failed = set(int(index) for index in state.get("failed", []))
+        self._renormalizations = [dict(record) for record in state.get("renormalizations", [])]
+        counters = state.get("counters", {})
+        self.retries = int(counters.get("retries", 0))
+        self.gave_up = int(counters.get("gave_up", 0))
+        self.backoff_seconds = float(counters.get("backoff_seconds", 0.0))
+        if "clock" in state:
+            self.clock.set_state(state["clock"])
+
+    def describe(self) -> Dict[str, object]:
+        """Static identity of the fault model (checkpoint fingerprint)."""
+        return self.plan.describe()
+
+    def summary(self, backend=None) -> ResilienceSummary:
+        """Fault-tolerance totals, including the backend's respawn count."""
+        return ResilienceSummary(
+            quorum=self.quorum,
+            retries=self.retries,
+            gave_up=self.gave_up,
+            respawns=int(getattr(backend, "respawns", 0)) if backend is not None else 0,
+            dropped_clients=[
+                getattr(self._clients[index], "client_id", index) if self._clients else index
+                for index in sorted(self._failed)
+            ],
+            injected=self.plan.injected_counts(),
+            backoff_seconds=self.backoff_seconds,
+            renormalizations=[dict(record) for record in self._renormalizations],
+            retry_policy=self.retry.describe(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResilienceManager(quorum={self.quorum}, plan={self.plan!r}, "
+            f"retry={self.retry.describe()!r})"
+        )
+
+
+def resilience_requested(
+    quorum: float = 1.0,
+    max_retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    crash_rate: float = 0.0,
+    exception_rate: float = 0.0,
+    timeout_rate: float = 0.0,
+    corruption_rate: float = 0.0,
+) -> bool:
+    """Whether any fault-tolerance option departs from the inert defaults.
+
+    The single source of truth shared by :func:`create_resilience` and the
+    experiment configuration (the same contract ``scheduling_requested``
+    provides for the scheduler), so "a resilience manager exists" and
+    "resilience is reported" can never drift apart.
+    """
+    return (
+        quorum != 1.0
+        or max_retries is not None
+        or task_timeout is not None
+        or crash_rate > 0.0
+        or exception_rate > 0.0
+        or timeout_rate > 0.0
+        or corruption_rate > 0.0
+    )
+
+
+def create_resilience(
+    quorum: float = 1.0,
+    max_retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    crash_rate: float = 0.0,
+    exception_rate: float = 0.0,
+    timeout_rate: float = 0.0,
+    corruption_rate: float = 0.0,
+    seed: int = 0,
+) -> Optional[ResilienceManager]:
+    """Build a :class:`ResilienceManager` from flat run options.
+
+    Returns ``None`` when every option is at its default — no faults,
+    quorum 1.0, no retry/timeout overrides — so the default configuration
+    takes the unsupervised code path and stays bit-identical to
+    pre-resilience behavior.
+    """
+    if not resilience_requested(
+        quorum=quorum,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+        crash_rate=crash_rate,
+        exception_rate=exception_rate,
+        timeout_rate=timeout_rate,
+        corruption_rate=corruption_rate,
+    ):
+        return None
+    plan = FaultPlan(
+        crash_rate=crash_rate,
+        exception_rate=exception_rate,
+        timeout_rate=timeout_rate,
+        corruption_rate=corruption_rate,
+        seed=seed,
+    )
+    retry = RetryPolicy(
+        max_retries=DEFAULT_MAX_RETRIES if max_retries is None else int(max_retries),
+        task_timeout=task_timeout,
+        seed=seed,
+    )
+    return ResilienceManager(plan=plan, retry=retry, quorum=quorum)
+
+
+__all__ = [
+    "ResilienceManager",
+    "ResilienceSummary",
+    "create_resilience",
+    "resilience_requested",
+]

@@ -20,6 +20,7 @@ from repro.fl.transport.codecs import (
     state_schema,
     topk_flat_indices,
 )
+from repro.fl.transport.errors import TransportDecodeError
 from repro.fl.transport.channel import (
     COMPRESSION_CHOICES,
     Channel,
@@ -35,6 +36,7 @@ __all__ = [
     "QuantizationCodec",
     "TopKCodec",
     "Payload",
+    "TransportDecodeError",
     "packed_code_bytes",
     "state_schema",
     "topk_flat_indices",

@@ -60,6 +60,7 @@ from repro.fl.parameters import (
     sorted_state_vector,
     wrap_flat,
 )
+from repro.fl.transport.errors import TransportDecodeError
 
 #: Static per-tensor schema entry: (name, shape).
 TensorSpec = Tuple[str, Tuple[int, ...]]
@@ -72,11 +73,22 @@ class Payload:
     ``data`` holds everything dynamic; ``schema`` is the static tensor
     layout (sorted name order) that both endpoints know from the model
     architecture and is therefore excluded from the byte count.
+
+    ``crc`` is the CRC-32 of ``data``, computed at construction unless the
+    caller supplies one (fault injection passes the *original* CRC next to
+    flipped bytes so corruption is detected through the genuine framing
+    check).  Like the schema, the 4-byte CRC is framing metadata a real
+    protocol would carry in its envelope; it is not part of ``num_bytes``.
     """
 
     codec: str
     data: bytes
     schema: Tuple[TensorSpec, ...]
+    crc: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.crc is None:
+            object.__setattr__(self, "crc", zlib.crc32(self.data))
 
     @property
     def num_bytes(self) -> int:
@@ -212,6 +224,21 @@ class Codec:
                 f"payload was encoded by codec {payload.codec!r}, "
                 f"but decode was called on {self.name!r}"
             )
+        if payload.crc is not None and zlib.crc32(payload.data) != payload.crc:
+            raise TransportDecodeError(
+                self.name,
+                actual_bytes=len(payload.data),
+                reason="crc mismatch",
+            )
+
+    def _inflate(self, data: bytes) -> bytes:
+        """DEFLATE-decompress ``data`` with a typed error on corruption."""
+        try:
+            return zlib.decompress(data)
+        except zlib.error as error:
+            raise TransportDecodeError(
+                self.name, actual_bytes=len(data), reason=f"deflate: {error}"
+            ) from error
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{self.__class__.__name__}({self.describe()!r})"
@@ -253,6 +280,14 @@ class IdentityCodec(Codec):
     def decode(self, payload: Payload) -> State:
         self._check_payload(payload)
         total = sum(_schema_sizes(payload.schema))
+        expected = total * self.dtype.itemsize
+        if len(payload.data) < expected:
+            raise TransportDecodeError(
+                self.name,
+                expected_bytes=expected,
+                actual_bytes=len(payload.data),
+                reason="truncated",
+            )
         raw = np.frombuffer(payload.data, dtype=self.dtype, count=total)
         return _state_from_flat(raw.astype(np.float64), payload.schema)
 
@@ -319,13 +354,20 @@ class QuantizationCodec(Codec):
 
     def decode(self, payload: Payload) -> State:
         self._check_payload(payload)
-        data = zlib.decompress(payload.data) if self.deflate else payload.data
+        data = self._inflate(payload.data) if self.deflate else payload.data
         levels = self.levels
         sizes = _schema_sizes(payload.schema)
         flat = np.empty(sum(sizes), dtype=np.float64)
         offset = 0
         position = 0
         for size in sizes:
+            if offset + 16 > len(data):
+                raise TransportDecodeError(
+                    self.name,
+                    expected_bytes=offset + 16,
+                    actual_bytes=len(data),
+                    reason="truncated scales",
+                )
             low, high = struct.unpack_from("<dd", data, offset)
             offset += 16
             span = high - low
@@ -335,6 +377,13 @@ class QuantizationCodec(Codec):
                 segment[:] = low
                 continue
             nbytes = packed_code_bytes(size, self.num_bits)
+            if offset + nbytes > len(data):
+                raise TransportDecodeError(
+                    self.name,
+                    expected_bytes=offset + nbytes,
+                    actual_bytes=len(data),
+                    reason="truncated codes",
+                )
             codes = _unpack_codes(data[offset : offset + nbytes], self.num_bits, size)
             offset += nbytes
             segment[:] = low + codes.astype(np.float64) / levels * span
@@ -393,13 +442,32 @@ class TopKCodec(Codec):
 
     def decode(self, payload: Payload) -> State:
         self._check_payload(payload)
-        data = zlib.decompress(payload.data) if self.deflate else payload.data
+        data = self._inflate(payload.data) if self.deflate else payload.data
+        if len(data) < 4:
+            raise TransportDecodeError(
+                self.name, expected_bytes=4, actual_bytes=len(data), reason="truncated header"
+            )
         (count,) = struct.unpack_from("<I", data, 0)
+        expected = 4 + count * (4 + self.value_dtype.itemsize)
+        if len(data) < expected:
+            raise TransportDecodeError(
+                self.name,
+                expected_bytes=expected,
+                actual_bytes=len(data),
+                reason="truncated",
+            )
         indices = np.frombuffer(data, dtype=np.uint32, count=count, offset=4).astype(np.int64)
         values = np.frombuffer(
             data, dtype=self.value_dtype, count=count, offset=4 + 4 * count
         ).astype(np.float64)
         total = sum(_schema_sizes(payload.schema))
+        if count and (indices.max() >= total or indices.min() < 0):
+            raise TransportDecodeError(
+                self.name,
+                expected_bytes=expected,
+                actual_bytes=len(data),
+                reason="index out of range",
+            )
         flat = np.zeros(total, dtype=np.float64)
         flat[indices] = values
         return _state_from_flat(flat, payload.schema)

@@ -1,0 +1,61 @@
+"""Typed transport decode failures.
+
+A corrupt or truncated payload used to surface as whatever low-level error
+the codec internals happened to hit first — a numpy reshape complaint, a
+``struct.error``, a ``zlib.error`` — none of which identify the codec or
+say how many bytes were expected.  :class:`TransportDecodeError` replaces
+those with one typed exception carrying the codec name and the
+expected/actual byte counts, so callers (the fault-tolerant retry path in
+particular) can catch decode failures precisely and route them into a
+re-dispatch instead of aborting the run.
+
+This module has no dependencies so it can be imported from anywhere in the
+transport and execution layers without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class TransportDecodeError(ValueError):
+    """A payload could not be decoded back into a model state.
+
+    Raised by every codec on truncated buffers, CRC mismatches, and
+    malformed streams.  Subclasses :class:`ValueError` so legacy callers
+    that guarded the raw numpy/struct errors with ``except ValueError``
+    keep working.
+
+    Attributes
+    ----------
+    codec:
+        Registry name of the codec that rejected the payload.
+    expected_bytes / actual_bytes:
+        Byte counts where they are known (``None`` otherwise) — e.g. the
+        minimum buffer length implied by the schema versus ``len(data)``.
+    reason:
+        Short machine-greppable cause (``"crc mismatch"``, ``"truncated"``,
+        ``"deflate"``, ...).
+    """
+
+    def __init__(
+        self,
+        codec: str,
+        *,
+        expected_bytes: Optional[int] = None,
+        actual_bytes: Optional[int] = None,
+        reason: str = "decode failed",
+    ):
+        self.codec = str(codec)
+        self.expected_bytes = None if expected_bytes is None else int(expected_bytes)
+        self.actual_bytes = None if actual_bytes is None else int(actual_bytes)
+        self.reason = str(reason)
+        detail = f"codec {self.codec!r}: {self.reason}"
+        if self.expected_bytes is not None or self.actual_bytes is not None:
+            expected = "?" if self.expected_bytes is None else str(self.expected_bytes)
+            actual = "?" if self.actual_bytes is None else str(self.actual_bytes)
+            detail += f" (expected {expected} bytes, got {actual})"
+        super().__init__(detail)
+
+
+__all__ = ["TransportDecodeError"]

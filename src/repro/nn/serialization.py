@@ -7,6 +7,7 @@ portable and dependency-free.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Dict, Union
 
@@ -16,12 +17,27 @@ PathLike = Union[str, Path]
 
 
 def save_state_dict(state: Dict[str, np.ndarray], path: PathLike) -> Path:
-    """Write a state dictionary to ``path`` (``.npz`` appended if missing)."""
+    """Write a state dictionary to ``path`` (``.npz`` appended if missing).
+
+    The write is **atomic**: the archive is serialized to a sibling
+    temporary file and moved into place with ``os.replace``, so a crash
+    mid-save can truncate only the temporary file — readers always see
+    either the previous complete archive or the new one, never a partial
+    write.  This is what makes checkpoint directories safe to resume from
+    after a hard kill.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **{key: np.asarray(value) for key, value in state.items()})
+    tmp_path = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp_path, "wb") as handle:
+            np.savez(handle, **{key: np.asarray(value) for key, value in state.items()})
+        os.replace(tmp_path, path)
+    finally:
+        if tmp_path.exists():
+            tmp_path.unlink()
     return path
 
 
