@@ -370,7 +370,33 @@ def _add_reproduce(subparsers) -> None:
         "the upload payload (caught by the transport CRC and retried; "
         "needs --compression for a wire payload to corrupt)",
     )
+    _add_state_digest_option(parser)
     parser.set_defaults(handler=_cmd_reproduce)
+
+
+def _add_state_digest_option(parser) -> None:
+    parser.add_argument(
+        "--state-digest",
+        action="store_true",
+        help="print a SHA-256 digest of every final model state "
+        "(`state digest <algorithm> <scope> <hex>`); two runs are "
+        "bit-identical iff their digest lines match — the witness the "
+        "wire-smoke CI job diffs between a wire and a serial run",
+    )
+
+
+def _print_state_digests(outcomes) -> None:
+    from repro.fl.parameters import state_digest
+
+    for outcome in outcomes:
+        training = outcome.training
+        if training.global_state is not None:
+            print(f"state digest {outcome.algorithm} global {state_digest(training.global_state)}")
+        for client_id in sorted(training.client_states):
+            print(
+                f"state digest {outcome.algorithm} client{client_id} "
+                f"{state_digest(training.client_states[client_id])}"
+            )
 
 
 def _cmd_reproduce(args) -> int:
@@ -489,10 +515,326 @@ def _cmd_reproduce(args) -> int:
                 f"folded_updates={summary['folded_updates']}\n"
             )
     print(text)
+    if args.state_digest:
+        _print_state_digests(result.outcomes)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(f"\nwritten to {args.output}")
+    return 0
+
+
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run a federation server: dispatch rounds to repro-join processes "
+        "over the framed wire protocol (bit-identical to an in-process run)",
+    )
+    parser.add_argument("--model", choices=available_models(), default="flnet")
+    parser.add_argument("--preset", choices=("paper", "default", "smoke"), default="smoke")
+    parser.add_argument(
+        "--algorithms",
+        nargs="*",
+        default=None,
+        help="algorithms to run over the wire (default: fedprox)",
+    )
+    parser.add_argument("--cache-dir", default=None, help="directory to cache the synthesized corpus")
+    parser.add_argument(
+        "--compute-dtype",
+        choices=("float64", "float32"),
+        default=None,
+        help="local-training arithmetic dtype (must match the joiners')",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="address to bind (default 127.0.0.1)")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7733,
+        help="TCP port to listen on (default 7733; 0 picks a free port, "
+        "printed on the `serving federation` line)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        help="seconds between liveness probes to each connected joiner (default 2)",
+    )
+    parser.add_argument(
+        "--client-timeout",
+        type=float,
+        default=10.0,
+        help="seconds of silence before a joiner counts as lost, and how long "
+        "a lost joiner may take to reconnect before its in-flight tasks fail "
+        "over to the retry machinery (default 10; must exceed the heartbeat "
+        "interval)",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help="directory for the append-only dispatch journal backing "
+        "reconnect-with-resume (default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--wait-clients",
+        type=float,
+        default=60.0,
+        help="seconds to wait for every roster client to connect before the "
+        "first round (default 60; 0 starts dispatching immediately)",
+    )
+    parser.add_argument(
+        "--quorum",
+        type=float,
+        default=1.0,
+        help="fraction of the cohort that must deliver an update per round "
+        "(see `repro reproduce --quorum`)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="supervised retries per client task before it counts as failed",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds allowed per dispatched task before the "
+        "supervisor abandons and retries it",
+    )
+    parser.add_argument(
+        "--wire-fault-disconnect-rate",
+        type=float,
+        default=0.0,
+        help="chaos testing: per-send probability of dropping the connection "
+        "instead of delivering a task frame (seeded; heals via replay)",
+    )
+    parser.add_argument(
+        "--wire-fault-delay-rate",
+        type=float,
+        default=0.0,
+        help="chaos testing: per-send probability of withholding a task frame "
+        "for up to --wire-delay-seconds",
+    )
+    parser.add_argument(
+        "--wire-fault-corrupt-rate",
+        type=float,
+        default=0.0,
+        help="chaos testing: per-send probability of flipping one byte of a "
+        "task frame (rejected by the peer's CRC check; heals via replay)",
+    )
+    parser.add_argument(
+        "--wire-delay-seconds",
+        type=float,
+        default=0.05,
+        help="maximum hold time for injected delays (default 0.05)",
+    )
+    parser.add_argument("--output", default=None, help="write the rendered table to this file")
+    _add_state_digest_option(parser)
+    parser.set_defaults(handler=_cmd_serve)
+
+
+def _cmd_serve(args) -> int:
+    from repro.experiments import ExperimentRunner, format_rows, preset, resilience_text
+    from repro.experiments.runner import ExperimentResult
+    from repro.fl import QuorumFailure
+
+    config = preset(args.preset, model=args.model)
+    algorithms = args.algorithms if args.algorithms else ["fedprox"]
+    unknown = [name for name in algorithms if name not in ALGORITHMS]
+    if unknown:
+        print(f"error: unknown algorithms {unknown}; available: {sorted(ALGORITHMS)}", file=sys.stderr)
+        return 2
+    try:
+        config = config.with_algorithms(algorithms).with_execution(
+            backend="wire",
+            compute_dtype=args.compute_dtype,
+        ).with_resilience(
+            quorum=args.quorum,
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+        ).with_wire(
+            wire_host=args.host,
+            wire_port=args.port,
+            heartbeat_interval=args.heartbeat_interval,
+            client_timeout=args.client_timeout,
+            wire_journal_dir=args.journal_dir,
+            wire_fault_disconnect_rate=args.wire_fault_disconnect_rate,
+            wire_fault_delay_rate=args.wire_fault_delay_rate,
+            wire_fault_corrupt_rate=args.wire_fault_corrupt_rate,
+            wire_delay_seconds=args.wire_delay_seconds,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(config, cache_dir=args.cache_dir)
+    clients = runner.federated_clients()
+    backend = runner.execution_backend()
+    result = ExperimentResult(config=config)
+    try:
+        port = backend.listen([client.client_id for client in clients])
+        print(
+            f"serving federation on {config.wire_host}:{port} for clients "
+            f"{[client.client_id for client in clients]}",
+            flush=True,
+        )
+        if args.wait_clients > 0:
+            if not backend.wait_for_clients(args.wait_clients):
+                print(
+                    f"error: not every client connected within {args.wait_clients:g}s",
+                    file=sys.stderr,
+                )
+                return 4
+            print("all clients connected; starting training", flush=True)
+        for name in config.algorithms:
+            result.outcomes.append(runner.run_algorithm(name, clients, backend=backend))
+    except QuorumFailure as failure:
+        print(
+            f"error: quorum failure at round {failure.round_index}: "
+            f"{failure.arrived}/{failure.cohort_size} clients delivered an "
+            f"update but {failure.required} were required",
+            file=sys.stderr,
+        )
+        return 3
+    finally:
+        network = backend.network_summary()
+        backend.close()
+    # One greppable line for the CI wire-smoke job.
+    print(
+        "wire: "
+        f"dispatched={network.get('dispatched', 0)} "
+        f"completed={network.get('completed', 0)} "
+        f"disconnects={network.get('disconnects', 0)} "
+        f"heartbeat_losses={network.get('heartbeat_losses', 0)} "
+        f"reconnects={network.get('reconnects', 0)} "
+        f"replays={network.get('replays', 0)} "
+        f"decode_failures={network.get('decode_failures', 0)} "
+        f"stale_updates={network.get('stale_updates', 0)} "
+        f"bytes_sent={network.get('bytes_sent', 0)} "
+        f"bytes_received={network.get('bytes_received', 0)}"
+    )
+    title = f"ROC AUC over the wire with {args.model} ({args.preset} preset)"
+    text = format_rows(result.rows, title=title)
+    text += "\n\nFault tolerance (wire runtime):\n"
+    text += resilience_text(result)
+    print(text)
+    if args.state_digest:
+        _print_state_digests(result.outcomes)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\nwritten to {args.output}")
+    return 0
+
+
+def _add_join(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "join",
+        help="join a federation as one or more clients: connect to a repro-serve "
+        "process, train dispatched tasks, and resume over reconnects",
+    )
+    parser.add_argument("--model", choices=available_models(), default="flnet")
+    parser.add_argument("--preset", choices=("paper", "default", "smoke"), default="smoke")
+    parser.add_argument("--cache-dir", default=None, help="directory to cache the synthesized corpus")
+    parser.add_argument(
+        "--compute-dtype",
+        choices=("float64", "float32"),
+        default=None,
+        help="local-training arithmetic dtype (must match the server's)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="server address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7733, help="server port (default 7733)")
+    parser.add_argument(
+        "--clients",
+        type=int,
+        nargs="*",
+        default=None,
+        help="client ids this process hosts (default: every client of the preset)",
+    )
+    parser.add_argument(
+        "--reconnect-delay",
+        type=float,
+        default=0.5,
+        help="seconds between reconnect attempts (default 0.5)",
+    )
+    parser.add_argument(
+        "--max-reconnects",
+        type=int,
+        default=60,
+        help="consecutive reconnect attempts before giving up (default 60)",
+    )
+    parser.add_argument(
+        "--drop-after",
+        type=int,
+        default=None,
+        help="testing: close the connection once, upon receiving the N-th task "
+        "(a seeded network blip; the run heals via journal replay)",
+    )
+    parser.add_argument(
+        "--kill-after",
+        type=int,
+        default=None,
+        help="testing: SIGKILL this process after sending the N-th update "
+        "(no goodbye, no cleanup — a real host death)",
+    )
+    parser.set_defaults(handler=_cmd_join)
+
+
+def _cmd_join(args) -> int:
+    from repro.experiments import ExperimentRunner, preset
+    from repro.fl.net import HandshakeError, SessionLost, run_client
+
+    config = preset(args.preset, model=args.model)
+    try:
+        if args.compute_dtype is not None:
+            config = config.with_execution(compute_dtype=args.compute_dtype)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(config, cache_dir=args.cache_dir)
+    clients = runner.federated_clients()
+    if args.clients:
+        available = {client.client_id for client in clients}
+        unknown = sorted(set(args.clients) - available)
+        if unknown:
+            print(
+                f"error: unknown client ids {unknown}; preset has {sorted(available)}",
+                file=sys.stderr,
+            )
+            return 2
+        clients = [client for client in clients if client.client_id in set(args.clients)]
+    print(
+        f"joining {args.host}:{args.port} as clients "
+        f"{[client.client_id for client in clients]}",
+        flush=True,
+    )
+    try:
+        report = run_client(
+            clients,
+            args.host,
+            args.port,
+            fingerprint=runner.wire_fingerprint(),
+            reconnect_delay=args.reconnect_delay,
+            max_reconnects=args.max_reconnects,
+            drop_after=args.drop_after,
+            kill_after=args.kill_after,
+        )
+    except HandshakeError as error:
+        print(f"error: handshake rejected ({error.code}): {error.detail}", file=sys.stderr)
+        return 2
+    except (SessionLost, OSError) as error:
+        print(f"error: session lost: {error}", file=sys.stderr)
+        return 1
+    print(
+        "join: "
+        f"tasks_run={report.tasks_run} "
+        f"updates_sent={report.updates_sent} "
+        f"cache_hits={report.cache_hits} "
+        f"reconnects={report.reconnects} "
+        f"replays_received={report.replays_received} "
+        f"acks={report.acks} "
+        f"heartbeats_answered={report.heartbeats_answered} "
+        f"drops_simulated={report.drops_simulated}"
+    )
     return 0
 
 
@@ -609,6 +951,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate_data(subparsers)
     _add_route(subparsers)
     _add_reproduce(subparsers)
+    _add_serve(subparsers)
+    _add_join(subparsers)
     _add_bench(subparsers)
     _add_communication(subparsers)
     return parser

@@ -149,6 +149,17 @@ class ExperimentConfig:
     fault_exception_rate: float = 0.0
     fault_timeout_rate: float = 0.0
     fault_corruption_rate: float = 0.0
+    # Wire-backend options (used only when backend == "wire"; see
+    # repro.fl.net and the `repro serve` / `repro join` commands).
+    wire_host: str = "127.0.0.1"
+    wire_port: int = 0
+    heartbeat_interval: float = 2.0
+    client_timeout: float = 10.0
+    wire_journal_dir: Optional[str] = None
+    wire_fault_disconnect_rate: float = 0.0
+    wire_fault_delay_rate: float = 0.0
+    wire_fault_corrupt_rate: float = 0.0
+    wire_delay_seconds: float = 0.05
 
     def __post_init__(self):
         if self.model.lower() not in available_models():
@@ -269,6 +280,45 @@ class ExperimentConfig:
             raise ValueError(
                 f"fault rates must sum to at most 1, got {sum(fault_rates.values())}"
             )
+        if not 0 <= self.wire_port <= 65535:
+            raise ValueError(f"wire_port must be in [0, 65535], got {self.wire_port}")
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {self.heartbeat_interval}"
+            )
+        if self.client_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                f"client_timeout ({self.client_timeout}) must exceed "
+                f"heartbeat_interval ({self.heartbeat_interval}); liveness needs "
+                "at least one missed probe"
+            )
+        if self.wire_delay_seconds < 0:
+            raise ValueError(
+                f"wire_delay_seconds must be >= 0, got {self.wire_delay_seconds}"
+            )
+        wire_rates = {
+            "wire_fault_disconnect_rate": self.wire_fault_disconnect_rate,
+            "wire_fault_delay_rate": self.wire_fault_delay_rate,
+            "wire_fault_corrupt_rate": self.wire_fault_corrupt_rate,
+        }
+        for label, rate in wire_rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {rate}")
+        if sum(wire_rates.values()) > 1.0 + 1e-12:
+            raise ValueError(
+                f"wire fault rates must sum to at most 1, got {sum(wire_rates.values())}"
+            )
+        if self.backend == "wire":
+            if self.workers is not None and self.workers > 1:
+                raise ValueError(
+                    "backend 'wire' runs client tasks in remote joiner processes; "
+                    "drop the workers option"
+                )
+            if self.population is not None:
+                raise ValueError(
+                    "backend 'wire' needs an eager client roster; population "
+                    "virtualization is not supported over the wire"
+                )
         if self.resilience_requested and self.round_policy == "fedbuff":
             raise ValueError(
                 "fault tolerance (quorum / fault injection / retries) is not "
@@ -371,6 +421,60 @@ class ExperimentConfig:
                 self.fault_corruption_rate
                 if fault_corruption_rate is _KEEP
                 else fault_corruption_rate
+            ),
+        )
+
+    def with_wire(
+        self,
+        wire_host: object = _KEEP,
+        wire_port: object = _KEEP,
+        heartbeat_interval: object = _KEEP,
+        client_timeout: object = _KEEP,
+        wire_journal_dir: object = _KEEP,
+        wire_fault_disconnect_rate: object = _KEEP,
+        wire_fault_delay_rate: object = _KEEP,
+        wire_fault_corrupt_rate: object = _KEEP,
+        wire_delay_seconds: object = _KEEP,
+    ) -> "ExperimentConfig":
+        """A copy of this configuration with different wire-backend options.
+
+        These only take effect when ``backend == "wire"`` (set it via
+        :meth:`with_execution`): the bind address, heartbeat cadence and
+        liveness deadline, the on-disk journal directory backing
+        reconnect-with-resume (a temporary directory when ``None``), and the
+        seeded frame-level fault rates for chaos runs.  Omitted options keep
+        their current value.
+        """
+        return replace(
+            self,
+            wire_host=self.wire_host if wire_host is _KEEP else wire_host,
+            wire_port=self.wire_port if wire_port is _KEEP else wire_port,
+            heartbeat_interval=(
+                self.heartbeat_interval if heartbeat_interval is _KEEP else heartbeat_interval
+            ),
+            client_timeout=(
+                self.client_timeout if client_timeout is _KEEP else client_timeout
+            ),
+            wire_journal_dir=(
+                self.wire_journal_dir if wire_journal_dir is _KEEP else wire_journal_dir
+            ),
+            wire_fault_disconnect_rate=(
+                self.wire_fault_disconnect_rate
+                if wire_fault_disconnect_rate is _KEEP
+                else wire_fault_disconnect_rate
+            ),
+            wire_fault_delay_rate=(
+                self.wire_fault_delay_rate
+                if wire_fault_delay_rate is _KEEP
+                else wire_fault_delay_rate
+            ),
+            wire_fault_corrupt_rate=(
+                self.wire_fault_corrupt_rate
+                if wire_fault_corrupt_rate is _KEEP
+                else wire_fault_corrupt_rate
+            ),
+            wire_delay_seconds=(
+                self.wire_delay_seconds if wire_delay_seconds is _KEEP else wire_delay_seconds
             ),
         )
 

@@ -223,6 +223,27 @@ def resilience_markdown(result: ExperimentResult) -> str:
             f"| {res.retries} | {res.gave_up} | {res.respawns} | {injected} "
             f"| {dropped} | {_format_seconds(res.backoff_seconds)} |"
         )
+    networked = [o for o in resilient if o.resilience.network]
+    if networked:
+        lines.append("")
+        lines.append(
+            "| Method | Dispatched | Completed | Disconnects | Heartbeat losses "
+            "| Reconnects | Replayed | Injected wire faults |"
+        )
+        lines.append("|---|---|---|---|---|---|---|---|")
+        for outcome in networked:
+            net = outcome.resilience.network
+            injected_wire = (
+                net.get("injected_disconnects", 0)
+                + net.get("injected_delays", 0)
+                + net.get("injected_corruptions", 0)
+            )
+            lines.append(
+                f"| {outcome.algorithm} | {net.get('dispatched', 0)} "
+                f"| {net.get('completed', 0)} | {net.get('disconnects', 0)} "
+                f"| {net.get('heartbeat_losses', 0)} | {net.get('reconnects', 0)} "
+                f"| {net.get('replays', 0)} | {injected_wire} |"
+            )
     return "\n".join(lines)
 
 
@@ -251,6 +272,27 @@ def resilience_text(result: ExperimentResult) -> str:
                 f"{kind} {count}" for kind, count in res.injected.items() if count
             )
             lines.append(f"{'':<22} injected faults: {injected}")
+        if res.network:
+            net = res.network
+            # One greppable line per wire run: `wire: reconnects=N ...`.
+            lines.append(
+                f"{'':<22} wire: dispatched={net.get('dispatched', 0)} "
+                f"completed={net.get('completed', 0)} "
+                f"disconnects={net.get('disconnects', 0)} "
+                f"heartbeat_losses={net.get('heartbeat_losses', 0)} "
+                f"reconnects={net.get('reconnects', 0)} "
+                f"replays={net.get('replays', 0)} "
+                f"decode_failures={net.get('decode_failures', 0)} "
+                f"stale_updates={net.get('stale_updates', 0)}"
+            )
+            injected_wire = {
+                kind: net.get(f"injected_{kind}s", 0)
+                for kind in ("disconnect", "delay", "corruption")
+                if net.get(f"injected_{kind}s", 0)
+            }
+            if injected_wire:
+                rendered = ", ".join(f"{kind} {count}" for kind, count in injected_wire.items())
+                lines.append(f"{'':<22} injected wire faults: {rendered}")
         for record in res.renormalizations:
             lines.append(
                 f"{'':<22} round {record['round']}: dropped {record['dropped_ids']}, "

@@ -176,13 +176,61 @@ class ExperimentRunner:
         return FederatedServer(aggregator=create_aggregator(self.config.aggregation))
 
     # -- execution ----------------------------------------------------------------
+    def wire_fingerprint(self) -> Dict[str, object]:
+        """The run-identity fingerprint a wire joiner must match at handshake.
+
+        Every field that shapes the client-side computation is included, so
+        a joiner built from a different preset / seed / corpus / dtype is
+        rejected before it can silently poison a run.  Both `repro serve`
+        and `repro join` derive it from the same configuration code path.
+        """
+        return {
+            "model": self.config.model,
+            "model_kwargs": tuple(sorted(self.config.model_kwargs.items())),
+            "seed": self.config.seed,
+            "corpus": self.config.corpus.cache_key(),
+            "clients": tuple(spec.client_id for spec in self.config.client_specs),
+            "compute_dtype": self.config.fl.compute_dtype,
+            "learning_rate": self.config.fl.learning_rate,
+            "batch_size": self.config.fl.batch_size,
+            "local_steps": self.config.fl.local_steps,
+        }
+
     def execution_backend(self) -> ExecutionBackend:
         """The execution backend requested by the configuration.
 
         The caller owns the returned backend and should ``close()`` it (or
         use it as a context manager) once training is done; the serial
-        backend holds no resources, the process-pool backend holds workers.
+        backend holds no resources, the process-pool backend holds workers,
+        and the wire backend holds the federation server (listening socket,
+        journal, client sessions).
         """
+        if self.config.backend == "wire":
+            from repro.fl.net import WireBackend, WireFaultPlan
+
+            fault_plan = None
+            if (
+                self.config.wire_fault_disconnect_rate > 0
+                or self.config.wire_fault_delay_rate > 0
+                or self.config.wire_fault_corrupt_rate > 0
+            ):
+                fault_plan = WireFaultPlan(
+                    disconnect_rate=self.config.wire_fault_disconnect_rate,
+                    delay_rate=self.config.wire_fault_delay_rate,
+                    corrupt_rate=self.config.wire_fault_corrupt_rate,
+                    delay_seconds=self.config.wire_delay_seconds,
+                    seed=self.config.seed,
+                )
+            return WireBackend(
+                host=self.config.wire_host,
+                port=self.config.wire_port,
+                heartbeat_interval=self.config.heartbeat_interval,
+                client_timeout=self.config.client_timeout,
+                journal_dir=self.config.wire_journal_dir,
+                fault_plan=fault_plan,
+                fingerprint=self.wire_fingerprint(),
+                blas_threads=self.config.blas_threads,
+            )
         return create_backend(
             self.config.backend,
             workers=self.config.workers,
@@ -234,7 +282,7 @@ class ExperimentRunner:
         injected faults identical across algorithms, execution backends,
         and checkpoint resume.
         """
-        return create_resilience(
+        manager = create_resilience(
             quorum=self.config.quorum,
             max_retries=self.config.max_retries,
             task_timeout=self.config.task_timeout,
@@ -244,6 +292,14 @@ class ExperimentRunner:
             corruption_rate=self.config.fault_corruption_rate,
             seed=self.config.seed,
         )
+        if manager is None and self.config.backend == "wire":
+            # A wire run always gets a supervisor: network faults (socket
+            # death, heartbeat loss, decode failure) are TaskFailures that
+            # should retry from pre-captured RNG snapshots, not abort the
+            # run.  A supervised fault-free pass is bit-identical to the
+            # unsupervised path, so this costs nothing in parity.
+            manager = ResilienceManager()
+        return manager
 
     def _checkpoint_manager(self, algorithm: str) -> Optional[CheckpointManager]:
         """Per-algorithm checkpoint manager under the configured directory."""

@@ -202,6 +202,17 @@ from repro.fl.personalization import (
 from repro.fl.server import FederatedServer
 from repro.fl.trainer import LocalTrainer, StepStatistics, predict_dataset
 
+# Imported after repro.fl.execution so the import side effect can register
+# the "wire" backend into BACKENDS.
+from repro.fl.net import (
+    FederationClientRunner,
+    FederationServer as WireFederationServer,
+    JoinReport,
+    WireBackend,
+    WireFaultPlan,
+    run_client,
+)
+
 #: Registry of every training algorithm, keyed by its configuration name.
 ALGORITHMS: Dict[str, Type[FederatedAlgorithm]] = {
     LocalOnly.name: LocalOnly,
@@ -317,6 +328,12 @@ __all__ = [
     "ClientUpdate",
     "create_backend",
     "default_worker_count",
+    "WireBackend",
+    "WireFaultPlan",
+    "WireFederationServer",
+    "FederationClientRunner",
+    "JoinReport",
+    "run_client",
     "FaultPlan",
     "RetryPolicy",
     "ResilienceManager",

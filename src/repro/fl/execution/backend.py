@@ -824,9 +824,17 @@ def create_backend(
         return ProcessPoolBackend(workers=workers, blas_threads=blas_threads)
     if key == ThreadPoolBackend.name:
         return ThreadPoolBackend(workers=workers, blas_threads=blas_threads)
+    if key == SerialBackend.name:
+        if workers is not None and workers > 1:
+            raise ValueError(
+                f"backend 'serial' cannot use {workers} workers; "
+                "drop --workers or choose the 'process' backend"
+            )
+        return SerialBackend(blas_threads=blas_threads)
+    # Externally registered backends (e.g. "wire" from repro.fl.net) take no
+    # worker count; their own options are wired up by the experiment runner.
     if workers is not None and workers > 1:
         raise ValueError(
-            f"backend 'serial' cannot use {workers} workers; "
-            "drop --workers or choose the 'process' backend"
+            f"backend {key!r} cannot use {workers} workers; drop --workers"
         )
-    return SerialBackend(blas_threads=blas_threads)
+    return BACKENDS[key](blas_threads=blas_threads)

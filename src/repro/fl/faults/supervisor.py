@@ -60,9 +60,13 @@ class ResilienceSummary:
     backoff_seconds: float
     renormalizations: List[Dict[str, object]]
     retry_policy: str
+    #: Network accounting from a wire-backend run (``None`` for in-process
+    #: backends): dispatched/completed counts, disconnects, heartbeat
+    #: losses, reconnects, replayed messages, injected wire faults, bytes.
+    network: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        result = {
             "quorum": self.quorum,
             "retries": self.retries,
             "gave_up": self.gave_up,
@@ -73,6 +77,9 @@ class ResilienceSummary:
             "renormalizations": [dict(record) for record in self.renormalizations],
             "retry_policy": self.retry_policy,
         }
+        if self.network is not None:
+            result["network"] = dict(self.network)
+        return result
 
 
 @dataclass
@@ -326,8 +333,19 @@ class ResilienceManager:
         return self.plan.describe()
 
     def summary(self, backend=None) -> ResilienceSummary:
-        """Fault-tolerance totals, including the backend's respawn count."""
+        """Fault-tolerance totals, including the backend's respawn count.
+
+        A backend exposing ``network_summary()`` (the wire backend) also
+        contributes its network accounting — disconnects, heartbeat losses,
+        reconnects, replayed messages — so wire runs are greppable from the
+        same resilience report as in-process ones.
+        """
+        network = None
+        network_summary = getattr(backend, "network_summary", None)
+        if callable(network_summary):
+            network = dict(network_summary()) or None
         return ResilienceSummary(
+            network=network,
             quorum=self.quorum,
             retries=self.retries,
             gave_up=self.gave_up,

@@ -1,0 +1,243 @@
+"""The ``wire`` execution backend: client tasks run in remote joiner processes.
+
+:class:`WireBackend` conforms to the :class:`~repro.fl.execution.backend
+.ExecutionBackend` contract (``imap_outcomes`` yields one outcome per task
+in task order, never raising per task) but dispatches every task over the
+framed TCP protocol instead of a local pool.  It hosts the asyncio
+:class:`~repro.fl.net.server.FederationServer` on a daemon thread and
+bridges the two worlds with ``concurrent.futures.Future``:
+
+* payloads are the process-pool worker tuples verbatim — each distinct
+  state carrier is pickled **once** per broadcast (the ``_payloads`` dedup)
+  and the client's RNG state rides along, comes back trained, and is
+  written into the roster client — which is what keeps a wire run
+  bit-identical to a serial one;
+* a network-level failure (socket death past the liveness deadline,
+  heartbeat loss, undecodable stream, backend-side timeout) resolves the
+  future to a :class:`~repro.fl.net.server.WireFailure`, which is converted
+  here into a :class:`~repro.fl.faults.TaskFailure` of the same ``kind`` —
+  so the PR 9 resilience machinery retries socket death from its
+  pre-captured RNG snapshot exactly like a worker crash.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import pickle
+import threading
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.fl.execution.backend import (
+    ClientTask,
+    ClientUpdate,
+    ExecutionBackend,
+    _check_one_task_per_client,
+)
+from repro.fl.faults.errors import TaskFailure
+from repro.fl.net.faults import WireFaultPlan
+from repro.fl.net.server import FederationServer, WireFailure
+from repro.utils.threadpools import BLAS_AUTO, BlasPolicy
+
+logger = logging.getLogger(__name__)
+
+
+class WireBackend(ExecutionBackend):
+    """Dispatches one round's client tasks to connected joiner processes.
+
+    The server starts lazily — on :meth:`listen` (the ``repro serve`` path,
+    which wants the bound port before any round runs) or on the first
+    :meth:`imap_outcomes` call — and stays up across rounds; sessions,
+    journal, and counters persist for the whole run.
+
+    Parameters mirror the CLI: ``host``/``port`` to bind (port 0 picks a
+    free one, readable from ``self.port`` after listen), the heartbeat
+    cadence and liveness deadline, an optional on-disk journal directory
+    (a temporary one otherwise), an optional :class:`WireFaultPlan` for
+    chaos runs, and the run-identity ``fingerprint`` joiners must match.
+    """
+
+    name = "wire"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_interval: float = 2.0,
+        client_timeout: float = 10.0,
+        journal_dir=None,
+        fault_plan: Optional[WireFaultPlan] = None,
+        fingerprint: Optional[Dict[str, object]] = None,
+        blas_threads: BlasPolicy = BLAS_AUTO,
+    ):
+        super().__init__(blas_threads=blas_threads)
+        self.host = host
+        self.port = int(port)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.client_timeout = float(client_timeout)
+        self.journal_dir = journal_dir
+        self.fault_plan = fault_plan
+        self.fingerprint = dict(fingerprint) if fingerprint else {}
+        self.server: Optional[FederationServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- loop / server lifecycle ---------------------------------------------------
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            loop = asyncio.new_event_loop()
+
+            def _run() -> None:
+                asyncio.set_event_loop(loop)
+                loop.run_forever()
+
+            self._thread = threading.Thread(target=_run, name="repro-wire-loop", daemon=True)
+            self._thread.start()
+            self._loop = loop
+        return self._loop
+
+    def listen(self, client_ids: Optional[Sequence[int]] = None) -> int:
+        """Start the federation server (idempotent); returns the bound port.
+
+        ``client_ids`` defaults to the bound roster's ids; passing them
+        explicitly lets ``repro serve`` print the listening address and
+        wait for joiners before the first round dispatches anything.
+        """
+        if self.server is not None:
+            return self.port
+        if client_ids is None:
+            if not self._clients:
+                raise RuntimeError("WireBackend.listen needs client_ids or a bound roster")
+            client_ids = [int(client.client_id) for client in self._clients]
+        loop = self._ensure_loop()
+        self.server = FederationServer(
+            client_ids,
+            host=self.host,
+            port=self.port,
+            heartbeat_interval=self.heartbeat_interval,
+            client_timeout=self.client_timeout,
+            journal_dir=self.journal_dir,
+            fault_plan=self.fault_plan,
+            fingerprint=self.fingerprint,
+        )
+        self.port = asyncio.run_coroutine_threadsafe(self.server.start(), loop).result()
+        return self.port
+
+    def bind(self, clients: Sequence) -> None:
+        super().bind(clients)
+        if self.server is not None:
+            unknown = [
+                int(client.client_id)
+                for client in clients
+                if int(client.client_id) not in self.server.sessions
+            ]
+            if unknown:
+                raise RuntimeError(
+                    f"wire server already listening for {sorted(self.server.sessions)}; "
+                    f"cannot re-bind to a roster with unknown client ids {unknown}"
+                )
+
+    def wait_for_clients(self, timeout: Optional[float] = None) -> bool:
+        """Block until every roster client has a live connection."""
+        self.listen()
+        return asyncio.run_coroutine_threadsafe(
+            self.server.wait_for_clients(timeout), self._loop
+        ).result()
+
+    def network_summary(self) -> Dict[str, int]:
+        """The server's network accounting (empty before the first listen)."""
+        if self.server is None:
+            return {}
+        return self.server.network_summary()
+
+    def close(self) -> None:
+        if self.server is not None:
+            try:
+                asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(timeout=10)
+            except Exception:  # pragma: no cover - best-effort shutdown
+                logger.warning("federation server did not stop cleanly", exc_info=True)
+            self.server = None
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=5)
+            self._loop.close()
+            self._loop = None
+            self._thread = None
+
+    # -- dispatch -------------------------------------------------------------------
+    def imap_outcomes(
+        self, tasks: Sequence[ClientTask], timeout: Optional[float] = None
+    ) -> Iterator[Union[ClientUpdate, TaskFailure]]:
+        if not tasks:
+            return
+        _check_one_task_per_client(tasks)
+        self.listen()
+        # The process pool's broadcast dedup: pickle each distinct carrier
+        # once, ship the same blob to every task that references it.
+        blobs: Dict[int, bytes] = {}
+        for task in tasks:
+            carrier = task.wire if task.wire is not None else task.state
+            if id(carrier) not in blobs:
+                blobs[id(carrier)] = pickle.dumps(carrier, protocol=pickle.HIGHEST_PROTOCOL)
+        futures = []
+        for task in tasks:
+            client = self._clients[task.client_index]
+            carrier = task.wire if task.wire is not None else task.state
+            futures.append(
+                self.server.submit_task(
+                    int(client.client_id),
+                    task.op,
+                    blobs[id(carrier)],
+                    task.wire is not None,
+                    task.steps,
+                    task.proximal_mu,
+                    client.rng_state,
+                )
+            )
+        # Drain in submission order (streaming, like every other backend).
+        # Even with timeout=None every future resolves eventually: a session
+        # that loses its connection and is not re-claimed within the
+        # liveness deadline is reaped into a WireFailure.
+        for position, (task, future) in enumerate(zip(tasks, futures)):
+            client = self._clients[task.client_index]
+            try:
+                raw = future.result(timeout=timeout)
+            except FuturesTimeoutError:
+                self.server.abandon(
+                    future, "timeout", f"task exceeded the {timeout:g}s per-task timeout"
+                )
+                yield TaskFailure(
+                    task_index=position,
+                    client_index=task.client_index,
+                    client_id=client.client_id,
+                    kind="timeout",
+                    error=f"task exceeded the {timeout:g}s per-task timeout",
+                )
+                continue
+            if isinstance(raw, WireFailure):
+                yield TaskFailure(
+                    task_index=position,
+                    client_index=task.client_index,
+                    client_id=client.client_id,
+                    kind=raw.kind,
+                    error=raw.error,
+                    traceback=raw.traceback,
+                )
+                continue
+            # A successful UpdateEnvelope: write the joiner's post-training
+            # RNG state back into the roster client (the process pool's
+            # _to_update hand-off — this is what keeps wire == serial).
+            if raw.rng_state is not None:
+                client.rng_state = raw.rng_state
+            yield ClientUpdate(
+                client_index=task.client_index,
+                client_id=client.client_id,
+                state=raw.state,
+                stats=raw.stats,
+                payload=raw.payload,
+            )
+
+
+__all__ = ["WireBackend"]

@@ -1,0 +1,380 @@
+"""The federation joiner: a client-side runtime with reconnect-and-resume.
+
+A joiner process owns one or more :class:`~repro.fl.FederatedClient`
+objects (rebuilt deterministically from the same preset / seed / corpus
+cache the server used) and services the server's task stream:
+
+* **handshake** — HELLO carries the client ids, protocol version, the run
+  fingerprint, and a per-client *cursor* (highest server-acknowledged task
+  seq); the server replays everything journaled after it.
+* **execution** — each :class:`TaskEnvelope` is the process-pool worker
+  payload verbatim: set the client's RNG state from the envelope, run
+  :func:`~repro.fl.execution.run_client_task`, capture the RNG state, and
+  ship an :class:`UpdateEnvelope` back.  Training runs in a thread-pool
+  executor so the asyncio loop keeps answering heartbeats mid-step.
+* **resume without re-training** — computed-but-unacknowledged updates
+  stay in an in-memory cache keyed ``(client id, seq)``; when a replayed
+  task arrives for a cached seq the cached update is resent as-is
+  (``cache_hits`` counts these).  A task that *does* re-run is harmless
+  for bit-parity either way: the envelope carries the RNG snapshot, so a
+  re-run reproduces the identical update.
+* **reconnect loop** — connection refused, socket death, frame errors,
+  and liveness silence all funnel into one retry loop with a fixed delay;
+  only a typed server rejection (protocol / fingerprint / unknown ids) is
+  permanent.
+
+Test/chaos knobs: ``drop_after=N`` closes the transport once, upon
+receiving the N-th task (a seeded "network blip" the CI wire-smoke job
+uses); ``kill_after=N`` SIGKILLs the *process* after sending the N-th
+update (the SIGKILL chaos test — no cleanup, no goodbye, exactly like a
+real client host dying).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import pickle
+import signal
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fl.execution.backend import ClientTask, run_client_task
+from repro.fl.net.errors import FrameError, HandshakeError, MessageDecodeError, SessionLost
+from repro.fl.net.framing import FrameReader, encode_frame
+from repro.fl.net.messages import (
+    MSG_ACK,
+    MSG_ERROR,
+    MSG_GOODBYE,
+    MSG_HEARTBEAT,
+    MSG_HEARTBEAT_ACK,
+    MSG_TASK,
+    MSG_WELCOME,
+    Goodbye,
+    HeartbeatAck,
+    Hello,
+    TaskEnvelope,
+    UpdateEnvelope,
+    decode_message,
+    encode_message,
+)
+
+logger = logging.getLogger(__name__)
+
+_READ_CHUNK = 1 << 16
+
+
+@dataclass
+class JoinReport:
+    """What one joiner run did (printed by ``repro join``)."""
+
+    tasks_run: int = 0
+    updates_sent: int = 0
+    cache_hits: int = 0
+    reconnects: int = 0
+    replays_received: int = 0
+    acks: int = 0
+    heartbeats_answered: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    drops_simulated: int = 0
+    cursors: Dict[int, int] = field(default_factory=dict)
+
+
+class FederationClientRunner:
+    """Drives one joiner process until the server says goodbye."""
+
+    def __init__(
+        self,
+        clients,
+        host: str,
+        port: int,
+        *,
+        fingerprint: Optional[Dict[str, object]] = None,
+        reconnect_delay: float = 0.5,
+        max_reconnects: int = 60,
+        drop_after: Optional[int] = None,
+        kill_after: Optional[int] = None,
+    ):
+        if not clients:
+            raise ValueError("a joiner needs at least one federated client")
+        self._by_id = {int(client.client_id): client for client in clients}
+        if len(self._by_id) != len(clients):
+            raise ValueError("duplicate client ids in the joiner roster")
+        self.host = host
+        self.port = int(port)
+        self.fingerprint = dict(fingerprint) if fingerprint else {}
+        self.reconnect_delay = float(reconnect_delay)
+        self.max_reconnects = int(max_reconnects)
+        self.drop_after = drop_after
+        self.kill_after = kill_after
+        self.report = JoinReport(cursors={cid: 0 for cid in self._by_id})
+        #: (client id, seq) -> computed UpdateEnvelope awaiting an ACK.
+        self._cache: Dict[Tuple[int, int], UpdateEnvelope] = {}
+        self._tasks_seen = 0
+        self._dropped_once = False
+        self._done = False
+        self._queue: Optional[asyncio.Queue] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._heartbeat_interval = 2.0
+        self._client_timeout = 10.0
+
+    # -- entry point ---------------------------------------------------------------
+    async def run(self) -> JoinReport:
+        """Serve the federation until GOODBYE; returns the join report."""
+        self._queue = asyncio.Queue()
+        worker = asyncio.get_event_loop().create_task(self._worker_loop())
+        attempts = 0
+        try:
+            while not self._done:
+                try:
+                    await self._serve_once()
+                    attempts = 0
+                except HandshakeError:
+                    raise
+                except (
+                    SessionLost,
+                    FrameError,
+                    MessageDecodeError,
+                    ConnectionError,
+                    OSError,
+                    asyncio.TimeoutError,
+                ) as error:
+                    if self._done:
+                        break
+                    attempts += 1
+                    if attempts > self.max_reconnects:
+                        raise SessionLost(
+                            "disconnect",
+                            f"gave up after {attempts - 1} reconnect attempts: {error!r}",
+                        )
+                    self.report.reconnects += 1
+                    logger.info(
+                        "connection lost (%r); reconnecting in %.1fs (attempt %d/%d)",
+                        error,
+                        self.reconnect_delay,
+                        attempts,
+                        self.max_reconnects,
+                    )
+                    await asyncio.sleep(self.reconnect_delay)
+        finally:
+            worker.cancel()
+            self._close_writer()
+        return self.report
+
+    # -- one connection ------------------------------------------------------------
+    async def _serve_once(self) -> None:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self._writer = writer
+        frames = FrameReader()
+        try:
+            await self._send(
+                Hello(
+                    client_ids=tuple(sorted(self._by_id)),
+                    cursors=dict(self.report.cursors),
+                    fingerprint=dict(self.fingerprint),
+                )
+            )
+            welcome = await self._expect_welcome(reader, frames)
+            self._heartbeat_interval = float(welcome.heartbeat_interval)
+            self._client_timeout = float(welcome.client_timeout)
+            self.report.replays_received += sum(welcome.replayed.values())
+            await self._read_loop(reader, frames)
+        finally:
+            self._close_writer()
+
+    async def _expect_welcome(self, reader, frames: FrameReader):
+        deadline = self._client_timeout
+        while True:
+            chunk = await asyncio.wait_for(reader.read(_READ_CHUNK), timeout=deadline)
+            if not chunk:
+                raise SessionLost("disconnect", "server closed during handshake")
+            self.report.bytes_received += len(chunk)
+            decoded = frames.feed(chunk)
+            if not decoded:
+                continue
+            frame_type, body = decoded[0]
+            if frame_type == MSG_ERROR:
+                error = decode_message(frame_type, body)
+                raise HandshakeError(error.code, error.detail)
+            if frame_type != MSG_WELCOME:
+                raise MessageDecodeError(frame_type, reason="expected WELCOME (or ERROR) after HELLO")
+            self._pending_frames = decoded[1:]
+            return decode_message(frame_type, body)
+
+    async def _read_loop(self, reader, frames: FrameReader) -> None:
+        # Liveness from the client's side: the server probes every
+        # heartbeat_interval, so a silence longer than the liveness deadline
+        # means the server (or the path to it) is gone.
+        timeout = self._client_timeout + self._heartbeat_interval
+        for frame_type, body in getattr(self, "_pending_frames", ()):
+            await self._handle_frame(frame_type, body)
+        self._pending_frames = ()
+        while not self._done:
+            chunk = await asyncio.wait_for(reader.read(_READ_CHUNK), timeout=timeout)
+            if not chunk:
+                raise SessionLost("disconnect", "server closed the connection")
+            self.report.bytes_received += len(chunk)
+            for frame_type, body in frames.feed(chunk):
+                await self._handle_frame(frame_type, body)
+
+    async def _handle_frame(self, frame_type: int, body: bytes) -> None:
+        if frame_type == MSG_TASK:
+            envelope = decode_message(frame_type, body)
+            self._tasks_seen += 1
+            if (
+                self.drop_after is not None
+                and not self._dropped_once
+                and self._tasks_seen >= int(self.drop_after)
+            ):
+                # Seeded network blip: close the transport once, *before*
+                # executing this task.  The server journals every task, so
+                # the reconnect replays it and the run heals bit-identically.
+                self._dropped_once = True
+                self.report.drops_simulated += 1
+                logger.info("simulating a network drop after task %d", self._tasks_seen)
+                raise SessionLost("disconnect", "simulated drop (--drop-after)")
+            key = (int(envelope.client_id), int(envelope.seq))
+            if key in self._cache:
+                # Replayed task whose update we already computed: resume
+                # without re-training.
+                self.report.cache_hits += 1
+                await self._send_update(self._cache[key])
+                return
+            await self._queue.put(envelope)
+        elif frame_type == MSG_ACK:
+            ack = decode_message(frame_type, body)
+            cid, seq = int(ack.client_id), int(ack.seq)
+            self.report.acks += 1
+            self.report.cursors[cid] = max(self.report.cursors.get(cid, 0), seq)
+            self._cache.pop((cid, seq), None)
+        elif frame_type == MSG_HEARTBEAT:
+            probe = decode_message(frame_type, body)
+            self.report.heartbeats_answered += 1
+            await self._send(HeartbeatAck(seq=probe.seq))
+        elif frame_type == MSG_HEARTBEAT_ACK:
+            pass
+        elif frame_type == MSG_GOODBYE:
+            self._done = True
+        elif frame_type == MSG_ERROR:
+            error = decode_message(frame_type, body)
+            raise HandshakeError(error.code, error.detail)
+        else:
+            raise MessageDecodeError(frame_type, reason="unexpected frame type mid-session")
+
+    # -- task execution ------------------------------------------------------------
+    async def _worker_loop(self) -> None:
+        """Sequentially executes queued tasks off the event loop's thread."""
+        loop = asyncio.get_event_loop()
+        while True:
+            envelope = await self._queue.get()
+            update = await loop.run_in_executor(None, self._execute, envelope)
+            self._cache[(int(envelope.client_id), int(envelope.seq))] = update
+            self.report.tasks_run += 1
+            await self._send_update(update)
+
+    def _execute(self, envelope: TaskEnvelope) -> UpdateEnvelope:
+        """Run one task; mirrors the process pool's ``_worker_run_task``."""
+        client = None
+        try:
+            client = self._by_id[int(envelope.client_id)]
+            blob = pickle.loads(envelope.blob)
+            if envelope.rng_state is not None:
+                client.rng_state = envelope.rng_state
+            if envelope.is_wire:
+                task = ClientTask(
+                    client_index=0,
+                    wire=blob,
+                    op=envelope.op,
+                    steps=envelope.steps,
+                    proximal_mu=envelope.proximal_mu,
+                )
+            else:
+                task = ClientTask(
+                    client_index=0,
+                    state=blob,
+                    op=envelope.op,
+                    steps=envelope.steps,
+                    proximal_mu=envelope.proximal_mu,
+                )
+            new_state, upload_payload, stats = run_client_task(client, task)
+            rng_state = client.rng_state
+        except Exception as error:
+            # Ship the failure back as data (the _WorkerFailure idiom): a
+            # client-side exception must reach the supervisor as a typed
+            # TaskFailure, not as a dead connection.
+            return UpdateEnvelope(
+                client_id=int(envelope.client_id),
+                seq=int(envelope.seq),
+                error=repr(error),
+                traceback=traceback_module.format_exc(),
+            )
+        return UpdateEnvelope(
+            client_id=int(envelope.client_id),
+            seq=int(envelope.seq),
+            state=new_state,
+            payload=upload_payload,
+            stats=stats,
+            rng_state=rng_state,
+        )
+
+    async def _send_update(self, update: UpdateEnvelope) -> None:
+        try:
+            await self._send(update)
+        except (ConnectionError, OSError):
+            # Connection died under us; the update stays cached and is
+            # resent when the reconnect replays its task.
+            return
+        self.report.updates_sent += 1
+        if self.kill_after is not None and self.report.updates_sent >= int(self.kill_after):
+            # Chaos knob: die like a real host -- no goodbye, no cleanup.
+            logger.info("SIGKILLing self after %d updates (--kill-after)", self.report.updates_sent)
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    async def _send(self, message) -> None:
+        writer = self._writer
+        if writer is None or writer.is_closing():
+            raise ConnectionResetError("no live connection")
+        frame_type, body = encode_message(message)
+        frame = encode_frame(frame_type, body)
+        writer.write(frame)
+        await writer.drain()
+        self.report.bytes_sent += len(frame)
+
+    def _close_writer(self) -> None:
+        writer, self._writer = self._writer, None
+        if writer is not None:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - best-effort close
+                pass
+
+
+def run_client(
+    clients,
+    host: str,
+    port: int,
+    *,
+    fingerprint: Optional[Dict[str, object]] = None,
+    reconnect_delay: float = 0.5,
+    max_reconnects: int = 60,
+    drop_after: Optional[int] = None,
+    kill_after: Optional[int] = None,
+) -> JoinReport:
+    """Synchronous wrapper: join the federation and serve until goodbye."""
+    runner = FederationClientRunner(
+        clients,
+        host,
+        port,
+        fingerprint=fingerprint,
+        reconnect_delay=reconnect_delay,
+        max_reconnects=max_reconnects,
+        drop_after=drop_after,
+        kill_after=kill_after,
+    )
+    return asyncio.run(runner.run())
+
+
+__all__ = ["FederationClientRunner", "JoinReport", "run_client"]

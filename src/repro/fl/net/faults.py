@@ -1,0 +1,167 @@
+"""Deterministic frame-level network fault injection.
+
+The wire analogue of :class:`repro.fl.faults.FaultPlan`: every *task send*
+on the server draws a seeded decision for the destination client, using the
+same counter-based ``SeedSequence`` idiom (``[seed, tag, client key, draw
+counter]``), so a chaos loopback run injects the identical drop/delay/
+corruption sequence no matter how the event loop interleaves connections —
+and heals to the identical final model.
+
+Three fault kinds, all applied at the frame layer (below the message
+vocabulary, above the socket):
+
+``disconnect``
+    The connection is closed instead of sending the frame.  The task is
+    already journaled, so the client's reconnect replays it — the healing
+    path the chaos tests pin down.
+``delay``
+    The send is withheld for a deterministic duration (straggling without
+    the scheduler's virtual clock: this one is real wall time).
+``corrupt``
+    One byte of the encoded frame is flipped (salt-addressed, like the
+    supervisor's payload corruption).  The peer's CRC check rejects the
+    frame, the peer drops the connection, and replay heals it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+#: Domain-separation tag for wire fault draws (disjoint from the execution
+#: fault plan's 0x4FA7 and every other seed stream in the project).
+WIRE_FAULT_SEED_TAG = 0x37E1
+
+#: Wire fault kinds in cumulative-threshold order.
+WIRE_FAULT_KINDS = ("disconnect", "delay", "corrupt")
+
+
+@dataclass(frozen=True)
+class WireFaultDecision:
+    """One draw: the kind to inject (``None`` = deliver cleanly) and a salt.
+
+    The salt picks the flipped byte for ``corrupt`` and scales the hold
+    time for ``delay``.
+    """
+
+    kind: Optional[str]
+    salt: int = 0
+
+
+class WireFaultPlan:
+    """Seeded per-client frame fault probabilities.
+
+    Parameters mirror :class:`~repro.fl.faults.FaultPlan`: per-send
+    probabilities in ``[0, 1]`` summing to at most 1, plus the base seed
+    and the maximum ``delay`` hold time in (real) seconds.
+    """
+
+    def __init__(
+        self,
+        disconnect_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        delay_seconds: float = 0.05,
+        seed: int = 0,
+    ):
+        rates = {
+            "disconnect": float(disconnect_rate),
+            "delay": float(delay_rate),
+            "corrupt": float(corrupt_rate),
+        }
+        for kind, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"wire fault {kind} rate must be in [0, 1], got {rate}")
+        if sum(rates.values()) > 1.0 + 1e-12:
+            raise ValueError(f"wire fault rates must sum to at most 1, got {sum(rates.values()):g}")
+        if delay_seconds < 0:
+            raise ValueError(f"delay_seconds must be >= 0, got {delay_seconds}")
+        self.rates = rates
+        self.delay_seconds = float(delay_seconds)
+        self.seed = int(seed)
+        self._draws: Dict[str, int] = {}
+        self._injected: Dict[str, int] = {kind: 0 for kind in WIRE_FAULT_KINDS}
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether any wire fault kind has a nonzero probability."""
+        return any(rate > 0.0 for rate in self.rates.values())
+
+    def injected_counts(self) -> Dict[str, int]:
+        """Per-kind counts of wire faults injected so far (a copy)."""
+        return dict(self._injected)
+
+    def draw(self, client_id) -> WireFaultDecision:
+        """The next decision for a task send to ``client_id``.
+
+        Counter-based like the execution fault plan: the n-th draw for a
+        client is a pure function of ``(seed, client_id, n)``, independent
+        of connection interleaving, so replays after a reconnect re-roll
+        deterministically (an injected disconnect can heal on replay).
+        """
+        if not self.any_faults:
+            return WireFaultDecision(kind=None)
+        key = str(client_id)
+        counter = self._draws.get(key, 0)
+        self._draws[key] = counter + 1
+        entropy = [self.seed, WIRE_FAULT_SEED_TAG, _client_key(client_id), counter]
+        rng = np.random.default_rng(np.random.SeedSequence(entropy))
+        uniform = float(rng.uniform())
+        threshold = 0.0
+        for kind in WIRE_FAULT_KINDS:
+            threshold += self.rates[kind]
+            if uniform < threshold:
+                self._injected[kind] += 1
+                salt = int(rng.integers(0, 2**31 - 1))
+                return WireFaultDecision(kind=kind, salt=salt)
+        return WireFaultDecision(kind=None)
+
+    def hold_seconds(self, decision: WireFaultDecision) -> float:
+        """Deterministic hold time for a ``delay`` decision."""
+        if decision.kind != "delay" or self.delay_seconds <= 0:
+            return 0.0
+        # Salt-derived fraction in (0, 1]; cheap and reproducible.
+        fraction = ((decision.salt % 1000) + 1) / 1000.0
+        return self.delay_seconds * fraction
+
+    def describe(self) -> Dict[str, float]:
+        """Static identity of the plan (rates + seed)."""
+        summary: Dict[str, float] = {f"{kind}_rate": rate for kind, rate in self.rates.items()}
+        summary["delay_seconds"] = self.delay_seconds
+        summary["seed"] = self.seed
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        active = {kind: rate for kind, rate in self.rates.items() if rate > 0.0}
+        return f"WireFaultPlan(seed={self.seed}, rates={active})"
+
+
+def corrupt_frame(frame: bytes, salt: int) -> bytes:
+    """Flip one salt-addressed byte of an encoded frame.
+
+    Any position trips the reader: a flipped magic byte fails the magic
+    check, and a flip anywhere else fails the CRC — which is the point.
+    """
+    if not frame:
+        return frame
+    data = bytearray(frame)
+    position = salt % len(data)
+    data[position] ^= ((salt >> 7) % 255) + 1
+    return bytes(data)
+
+
+def _client_key(client_id) -> int:
+    """Stable non-negative integer key for a client id (process-stable)."""
+    return zlib.crc32(str(client_id).encode("utf-8"))
+
+
+__all__ = [
+    "WIRE_FAULT_KINDS",
+    "WIRE_FAULT_SEED_TAG",
+    "WireFaultDecision",
+    "WireFaultPlan",
+    "corrupt_frame",
+]

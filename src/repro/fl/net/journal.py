@@ -1,0 +1,176 @@
+"""Append-only on-disk message journal backing reconnect-with-resume.
+
+The server journals every dispatched task *before* putting it on a socket,
+and journals an ACK record once the matching update has been folded.  A
+client that reconnects presents its replay cursor (the highest ``seq`` it
+has seen acknowledged); the journal's pending records after that cursor
+are exactly the tasks the client may have missed, and they are replayed
+byte-for-byte — same pickled carrier, same RNG snapshot — so a resumed
+client computes the identical update the uninterrupted run would have.
+
+Records reuse the wire frame codec (:mod:`repro.fl.net.framing`), one
+frame per record, so every record is individually CRC-protected and a
+crash mid-append leaves a *detectably* truncated tail:
+
+* ``TASK`` record — payload ``pickle((seq, task_body_bytes))``
+* ``ACK`` record — payload ``pickle(seq)``
+
+Loading scans each ``client-<id>.journal`` file front to back and stops at
+the first undecodable byte, dropping the tail (the record being appended
+when the crash hit was, by construction, never acknowledged to anyone).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.fl.net.errors import FrameError, JournalError
+from repro.fl.net.framing import FrameReader, encode_frame
+from repro.fl.net.messages import MSG_ACK, MSG_TASK
+
+
+class MessageJournal:
+    """Per-client append-only journals under one directory.
+
+    The in-memory pending map (``seq -> task body bytes``, insertion
+    ordered) mirrors the on-disk state and serves replay queries without
+    touching the disk; the files exist so the map survives a server
+    restart.  ``fsync=True`` additionally fsyncs every append (durable
+    against power loss, at a large cost per record — loopback tests and
+    single-host runs don't need it).
+    """
+
+    def __init__(self, directory, fsync: bool = False):
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise JournalError(str(directory), f"cannot create directory: {error}") from error
+        self.fsync = bool(fsync)
+        self._files: Dict[int, object] = {}
+        #: client id -> {seq: task body bytes}, insertion == dispatch order.
+        self._pending: Dict[int, Dict[int, bytes]] = {}
+        #: Highest seq ever journaled per client (dispatched or acked).
+        self._high: Dict[int, int] = {}
+        #: Bytes dropped from truncated tails at load time (diagnostics).
+        self.truncated_bytes = 0
+        self._load()
+
+    # -- loading -----------------------------------------------------------------
+    def _path(self, client_id: int) -> Path:
+        return self.directory / f"client-{int(client_id)}.journal"
+
+    def _load(self) -> None:
+        for path in sorted(self.directory.glob("client-*.journal")):
+            try:
+                client_id = int(path.stem.split("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            self._load_one(client_id, path)
+
+    def _load_one(self, client_id: int, path: Path) -> None:
+        try:
+            raw = path.read_bytes()
+        except OSError as error:
+            raise JournalError(str(path), f"cannot read: {error}") from error
+        reader = FrameReader()
+        pending = self._pending.setdefault(client_id, {})
+        try:
+            frames = reader.feed(raw)
+        except FrameError:
+            # Undecodable from some record onward: a crash mid-append (or a
+            # torn write).  Everything before the bad offset parsed clean
+            # and is kept; the tail was never acknowledged, so drop it.
+            reader = FrameReader()
+            frames = self._scan_prefix(reader, raw)
+        self.truncated_bytes += len(raw) - reader.offset
+        for frame_type, payload in frames:
+            try:
+                if frame_type == MSG_TASK:
+                    seq, body = pickle.loads(payload)
+                    pending[int(seq)] = bytes(body)
+                    self._high[client_id] = max(self._high.get(client_id, 0), int(seq))
+                elif frame_type == MSG_ACK:
+                    seq = int(pickle.loads(payload))
+                    pending.pop(seq, None)
+                    self._high[client_id] = max(self._high.get(client_id, 0), seq)
+            except Exception as error:
+                raise JournalError(str(path), f"undecodable record: {error!r}") from error
+
+    @staticmethod
+    def _scan_prefix(reader: FrameReader, raw: bytes) -> List[Tuple[int, bytes]]:
+        """Longest cleanly decodable frame prefix of ``raw`` (byte at a time)."""
+        frames: List[Tuple[int, bytes]] = []
+        for position in range(len(raw)):
+            try:
+                frames.extend(reader.feed(raw[position : position + 1]))
+            except FrameError:
+                break
+        return frames
+
+    # -- appending ---------------------------------------------------------------
+    def _append(self, client_id: int, frame: bytes) -> None:
+        handle = self._files.get(client_id)
+        if handle is None:
+            try:
+                handle = open(self._path(client_id), "ab")
+            except OSError as error:
+                raise JournalError(str(self._path(client_id)), f"cannot open: {error}") from error
+            self._files[client_id] = handle
+        handle.write(frame)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def record_task(self, client_id: int, seq: int, body: bytes) -> None:
+        """Journal a dispatched task (call *before* sending it anywhere)."""
+        client_id, seq = int(client_id), int(seq)
+        record = pickle.dumps((seq, bytes(body)), protocol=pickle.HIGHEST_PROTOCOL)
+        self._append(client_id, encode_frame(MSG_TASK, record))
+        self._pending.setdefault(client_id, {})[seq] = bytes(body)
+        self._high[client_id] = max(self._high.get(client_id, 0), seq)
+
+    def record_ack(self, client_id: int, seq: int) -> None:
+        """Journal that ``seq``'s update is folded; the task leaves replay."""
+        client_id, seq = int(client_id), int(seq)
+        record = pickle.dumps(seq, protocol=pickle.HIGHEST_PROTOCOL)
+        self._append(client_id, encode_frame(MSG_ACK, record))
+        self._pending.get(client_id, {}).pop(seq, None)
+        self._high[client_id] = max(self._high.get(client_id, 0), seq)
+
+    # -- queries -----------------------------------------------------------------
+    def pending(self, client_id: int) -> Dict[int, bytes]:
+        """Un-acked task records for one client (``seq -> body``, a copy)."""
+        return dict(self._pending.get(int(client_id), {}))
+
+    def pending_after(self, client_id: int, cursor: int) -> List[Tuple[int, bytes]]:
+        """Replay set: pending records with ``seq > cursor``, in seq order."""
+        pending = self._pending.get(int(client_id), {})
+        return sorted(
+            ((seq, body) for seq, body in pending.items() if seq > int(cursor)),
+            key=lambda item: item[0],
+        )
+
+    def high_seq(self, client_id: int) -> int:
+        """Highest seq ever journaled for a client (0 if none)."""
+        return self._high.get(int(client_id), 0)
+
+    def close(self) -> None:
+        files, self._files = self._files, {}
+        for handle in files.values():
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def __enter__(self) -> "MessageJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["MessageJournal"]

@@ -1,0 +1,230 @@
+"""The federation protocol's message vocabulary.
+
+One dataclass per message, one frame-type byte per dataclass.  Bodies are
+pickled (the payloads they carry — transport envelopes, flat states, RNG
+states — already cross the process-pool boundary as pickles, so the wire
+reuses the exact same serialization and stays bit-identical to it).  The
+frame CRC is checked *before* a body is unpickled, so a flipped byte is
+always a :class:`~repro.fl.net.errors.FrameError`, and only a peer that
+genuinely sent garbage produces a
+:class:`~repro.fl.net.errors.MessageDecodeError`.
+
+Dispatch flow
+-------------
+========================  ====================================================
+message                   direction / meaning
+========================  ====================================================
+``Hello``                 client -> server: identity, protocol version, config
+                          fingerprint, and per-client replay cursors
+``Welcome``               server -> client: session accepted; heartbeat cadence
+                          and how many journaled tasks will be replayed
+``TaskEnvelope``          server -> client: one :class:`ClientTask`'s payload
+                          (the process-pool worker tuple, framed)
+``UpdateEnvelope``        client -> server: the task's result (state/payload,
+                          stats, RNG state) or its failure
+``Ack``                   server -> client: update received and recorded; the
+                          client may drop its cached copy and move its cursor
+``Heartbeat``             server -> client liveness probe
+``HeartbeatAck``          client -> server liveness reply
+``ErrorMessage``          either direction: typed, fatal protocol complaint
+``Goodbye``               either direction: orderly shutdown
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.fl.net.errors import MessageDecodeError
+
+#: Protocol version sent in every HELLO and checked by the server; bump on
+#: any incompatible change to the frame layout or message vocabulary.
+PROTOCOL_VERSION = 1
+
+# Frame-type bytes (grouped by role; gaps left for future messages).
+MSG_HELLO = 0x01
+MSG_WELCOME = 0x02
+MSG_TASK = 0x10
+MSG_UPDATE = 0x11
+MSG_ACK = 0x12
+MSG_HEARTBEAT = 0x20
+MSG_HEARTBEAT_ACK = 0x21
+MSG_ERROR = 0x7E
+MSG_GOODBYE = 0x7F
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Client -> server greeting opening (or resuming) a session."""
+
+    #: Roster client ids this connection serves (one joiner process may
+    #: host several federated clients).
+    client_ids: Tuple[int, ...]
+    protocol_version: int = PROTOCOL_VERSION
+    #: Per-client replay cursor: the highest task ``seq`` this client has
+    #: seen the server *acknowledge*; journaled tasks after it are replayed.
+    cursors: Dict[int, int] = field(default_factory=dict)
+    #: Run-identity fingerprint (model, seed, corpus hash, dtype...); the
+    #: server rejects a joiner whose fingerprint disagrees with its own, so
+    #: a mis-configured client can never silently poison a run.
+    fingerprint: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Server -> client: the session is open."""
+
+    heartbeat_interval: float
+    client_timeout: float
+    #: Per-client count of journaled tasks about to be replayed.
+    replayed: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TaskEnvelope:
+    """One dispatched client task, exactly the process-pool worker payload.
+
+    ``blob`` is the pickled state carrier (raw state or transport wire
+    envelope) — pickled once per distinct carrier on the server, like the
+    process pool's broadcast dedup — and ``rng_state`` is the coordinator's
+    RNG snapshot for the client, whose hand-off is what keeps a wire run
+    bit-identical to a serial one.
+    """
+
+    client_id: int
+    seq: int
+    op: str
+    blob: bytes
+    is_wire: bool
+    steps: Optional[int] = None
+    proximal_mu: Optional[float] = None
+    rng_state: Optional[dict] = None
+
+
+@dataclass
+class UpdateEnvelope:
+    """The client's reply to one :class:`TaskEnvelope`.
+
+    Either a result (``state`` or encoded ``payload``, plus ``stats`` and
+    the post-training ``rng_state``) or a failure (``error`` set, mirroring
+    the process pool's ``_WorkerFailure`` value semantics: a client-side
+    exception travels back as data, never as a broken connection).
+    """
+
+    client_id: int
+    seq: int
+    state: Optional[object] = None
+    payload: Optional[object] = None
+    stats: Optional[object] = None
+    rng_state: Optional[dict] = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Server -> client: update ``seq`` for ``client_id`` is safely folded."""
+
+    client_id: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Liveness probe; ``seq`` lets either side match probe to reply."""
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    """Liveness reply echoing the probe's ``seq``."""
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class ErrorMessage:
+    """A fatal, typed protocol complaint (precedes closing the connection)."""
+
+    code: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Goodbye:
+    """Orderly end of the session (``reason`` is human-readable)."""
+
+    reason: str = ""
+
+
+#: message class <-> frame-type byte (bijective).
+MESSAGE_TYPES = {
+    Hello: MSG_HELLO,
+    Welcome: MSG_WELCOME,
+    TaskEnvelope: MSG_TASK,
+    UpdateEnvelope: MSG_UPDATE,
+    Ack: MSG_ACK,
+    Heartbeat: MSG_HEARTBEAT,
+    HeartbeatAck: MSG_HEARTBEAT_ACK,
+    ErrorMessage: MSG_ERROR,
+    Goodbye: MSG_GOODBYE,
+}
+_TYPE_CLASSES = {frame_type: cls for cls, frame_type in MESSAGE_TYPES.items()}
+
+
+def encode_message(message) -> Tuple[int, bytes]:
+    """Pickle ``message``; returns ``(frame_type, body_bytes)``."""
+    frame_type = MESSAGE_TYPES.get(type(message))
+    if frame_type is None:
+        raise TypeError(f"not a protocol message: {type(message).__name__}")
+    return frame_type, pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_message(frame_type: int, body: bytes):
+    """Unpickle a frame body, checking it matches its frame-type byte.
+
+    Raises :class:`MessageDecodeError` for unknown type bytes, unpicklable
+    bodies, and type/byte mismatches — never a bare pickle exception.
+    """
+    cls = _TYPE_CLASSES.get(frame_type)
+    if cls is None:
+        raise MessageDecodeError(frame_type, reason="unknown frame type")
+    try:
+        message = pickle.loads(body)
+    except Exception as error:
+        raise MessageDecodeError(frame_type, reason=f"unpicklable body: {error!r}") from error
+    if not isinstance(message, cls):
+        raise MessageDecodeError(
+            frame_type,
+            reason=f"body decodes to {type(message).__name__}, expected {cls.__name__}",
+        )
+    return message
+
+
+__all__ = [
+    "MESSAGE_TYPES",
+    "MSG_ACK",
+    "MSG_ERROR",
+    "MSG_GOODBYE",
+    "MSG_HEARTBEAT",
+    "MSG_HEARTBEAT_ACK",
+    "MSG_HELLO",
+    "MSG_TASK",
+    "MSG_UPDATE",
+    "MSG_WELCOME",
+    "PROTOCOL_VERSION",
+    "Ack",
+    "ErrorMessage",
+    "Goodbye",
+    "Heartbeat",
+    "HeartbeatAck",
+    "Hello",
+    "TaskEnvelope",
+    "UpdateEnvelope",
+    "Welcome",
+    "decode_message",
+    "encode_message",
+]

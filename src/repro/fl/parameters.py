@@ -650,6 +650,25 @@ def flatten_state(state: State) -> np.ndarray:
     return np.concatenate([np.asarray(state[name]).ravel() for name in sorted(state)])
 
 
+def state_digest(state: State) -> str:
+    """A hex SHA-256 digest of a state's exact bits (names, shapes, values).
+
+    The bit-for-bit identity witness the wire-smoke CI job diffs: two runs
+    produce the same digest iff every parameter tensor is byte-identical
+    (values are hashed as contiguous float64 buffers in sorted name order,
+    so flat and dict states of the same values agree).
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for name in sorted(state):
+        values = np.ascontiguousarray(np.asarray(state[name], dtype=np.float64))
+        digest.update(name.encode("utf-8"))
+        digest.update(str(values.shape).encode("ascii"))
+        digest.update(values.tobytes())
+    return digest.hexdigest()
+
+
 def average_pairwise_distance(states: Sequence[State]) -> float:
     """Mean pairwise distance between client states (heterogeneity diagnostic).
 

@@ -103,6 +103,37 @@ class TestPresets:
         for model in ("flnet", "routenet", "pros"):
             assert preset("smoke", model).model == model
 
+    def test_with_wire_keeps_omitted_options(self):
+        config = smoke("flnet").with_wire(wire_port=7001, heartbeat_interval=0.5)
+        updated = config.with_wire(client_timeout=4.0)
+        assert updated.wire_port == 7001  # omitted -> kept
+        assert updated.heartbeat_interval == 0.5
+        assert updated.client_timeout == 4.0
+
+    def test_wire_options_validated(self):
+        with pytest.raises(ValueError, match="port"):
+            smoke("flnet").with_wire(wire_port=70000)
+        with pytest.raises(ValueError, match="heartbeat"):
+            smoke("flnet").with_wire(heartbeat_interval=0.0)
+        with pytest.raises(ValueError, match="missed probe"):
+            smoke("flnet").with_wire(heartbeat_interval=2.0, client_timeout=1.0)
+        with pytest.raises(ValueError, match="rate"):
+            smoke("flnet").with_wire(wire_fault_disconnect_rate=1.5)
+        with pytest.raises(ValueError, match="sum"):
+            smoke("flnet").with_wire(
+                wire_fault_disconnect_rate=0.6, wire_fault_corrupt_rate=0.6
+            )
+
+    def test_wire_backend_rejects_workers_and_population(self):
+        with pytest.raises(ValueError, match="workers"):
+            smoke("flnet").with_execution(backend="wire", workers=4)
+        with pytest.raises(ValueError, match="roster"):
+            smoke("flnet").with_execution(backend="wire").with_population(population=30)
+
+    def test_wire_backend_is_registered_with_execution(self):
+        config = smoke("flnet").with_execution(backend="wire")
+        assert config.backend == "wire"
+
 
 class TestPaperReferenceTables:
     def test_tables_exist_for_all_models(self):

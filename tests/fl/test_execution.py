@@ -94,7 +94,7 @@ def run_named(name, clients, num_channels, config=TINY_CONFIG, backend=None, che
 
 class TestBackendSelection:
     def test_registry_names(self):
-        assert set(BACKENDS) == {"serial", "process", "thread"}
+        assert set(BACKENDS) == {"serial", "process", "thread", "wire"}
 
     def test_auto_resolution_from_workers(self):
         assert isinstance(create_backend(None, workers=None), SerialBackend)

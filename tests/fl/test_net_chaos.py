@@ -1,0 +1,238 @@
+"""Process-level chaos tests: real joiner processes dying mid-round.
+
+Unlike the loopback tests (same-process joiner thread), these spawn the
+actual ``repro join`` CLI as subprocesses:
+
+* a joiner that SIGKILLs itself mid-round (``--kill-after``) — no
+  goodbye, no flush, a real host death — is replaced by a relaunched
+  process, and the run commits bit-identically to the no-fault
+  reference via the quorum/retry/replay path,
+* a full ``repro serve`` / ``repro join`` loopback run through the CLI
+  (the local mirror of the CI wire-smoke job): a seeded disconnect
+  (``--drop-after``) must heal, the greppable ``wire:`` line must show
+  nonzero reconnects, and the ``state digest`` lines must equal the
+  serial ``repro reproduce`` reference digests.
+
+Both tests share one corpus cache directory so the synthetic dataset is
+generated once.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SERVE_TIMEOUT = 300
+
+
+@pytest.fixture(scope="module")
+def cli_env(tmp_path_factory):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    cache_dir = tmp_path_factory.mktemp("wire-chaos-corpus")
+    return env, str(cache_dir)
+
+
+def _cli(*argv):
+    return [sys.executable, "-m", "repro.cli", *argv]
+
+
+@pytest.fixture(scope="module")
+def serial_digests(cli_env):
+    """Digest lines of the no-fault serial reference (`repro reproduce`)."""
+    env, cache_dir = cli_env
+    result = subprocess.run(
+        _cli(
+            "reproduce",
+            "--preset",
+            "smoke",
+            "--algorithms",
+            "fedprox",
+            "--state-digest",
+            "--cache-dir",
+            cache_dir,
+        ),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=SERVE_TIMEOUT,
+        check=True,
+    )
+    digests = [line for line in result.stdout.splitlines() if line.startswith("state digest ")]
+    assert digests, f"reproduce printed no digests:\n{result.stdout}"
+    return digests
+
+
+def _start_serve(env, cache_dir, *extra):
+    """Launch `repro serve --port 0`; returns (process, bound port)."""
+    process = subprocess.Popen(
+        _cli(
+            "serve",
+            "--preset",
+            "smoke",
+            "--algorithms",
+            "fedprox",
+            "--port",
+            "0",
+            "--heartbeat-interval",
+            "0.3",
+            "--client-timeout",
+            "3.0",
+            "--state-digest",
+            "--cache-dir",
+            cache_dir,
+            *extra,
+        ),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    port = None
+    for line in process.stdout:
+        match = re.search(r"serving federation on [\d.]+:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+            break
+    assert port is not None, "serve never printed its listening address"
+    return process, port
+
+
+def _drain(process, sink):
+    """Collect the rest of a process's stdout without blocking it."""
+
+    def pump():
+        sink.append(process.stdout.read())
+
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    return thread
+
+
+def _join_args(cache_dir, port, *extra):
+    return _cli(
+        "join",
+        "--preset",
+        "smoke",
+        "--port",
+        str(port),
+        "--reconnect-delay",
+        "0.2",
+        "--cache-dir",
+        cache_dir,
+        *extra,
+    )
+
+
+class TestSigkillChaos:
+    def test_killed_joiner_is_replaced_and_the_run_commits_identically(
+        self, cli_env, serial_digests
+    ):
+        """SIGKILL a real client process mid-round; a relaunch heals the run."""
+        env, cache_dir = cli_env
+        serve, port = _start_serve(env, cache_dir, "--client-timeout", "10.0")
+        serve_tail = []
+        drainer = None
+        try:
+            first = subprocess.Popen(
+                _join_args(cache_dir, port, "--kill-after", "1"),
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            first.wait(timeout=SERVE_TIMEOUT)
+            # The process SIGKILLed itself: died by signal, no exit code 0.
+            assert first.returncode == -signal.SIGKILL
+            second = subprocess.run(
+                _join_args(cache_dir, port),
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=SERVE_TIMEOUT,
+            )
+            assert second.returncode == 0, second.stderr
+            drainer = _drain(serve, serve_tail)
+            assert serve.wait(timeout=SERVE_TIMEOUT) == 0
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+            if drainer is not None:
+                drainer.join(timeout=10)
+        output = "".join(serve_tail)
+        wire_line = next(line for line in output.splitlines() if line.startswith("wire: "))
+        counters = dict(pair.split("=") for pair in wire_line[len("wire: ") :].split())
+        assert int(counters["disconnects"]) >= 1
+        assert int(counters["reconnects"]) >= 1
+        digests = [line for line in output.splitlines() if line.startswith("state digest ")]
+        assert digests == serial_digests
+        # The relaunched joiner replayed the dead process's journal backlog.
+        join_line = next(
+            line for line in second.stdout.splitlines() if line.startswith("join: ")
+        )
+        assert re.search(r"replays_received=[1-9]", join_line)
+
+
+class TestCliWireSmoke:
+    def test_seeded_disconnect_heals_and_digests_match_serial(self, cli_env, serial_digests):
+        """The CI wire-smoke scenario: serve + join with a seeded drop."""
+        env, cache_dir = cli_env
+        serve, port = _start_serve(env, cache_dir)
+        serve_tail = []
+        drainer = None
+        try:
+            join = subprocess.run(
+                _join_args(cache_dir, port, "--drop-after", "2"),
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=SERVE_TIMEOUT,
+            )
+            assert join.returncode == 0, join.stderr
+            drainer = _drain(serve, serve_tail)
+            assert serve.wait(timeout=SERVE_TIMEOUT) == 0
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+            if drainer is not None:
+                drainer.join(timeout=10)
+        output = "".join(serve_tail)
+        wire_line = next(line for line in output.splitlines() if line.startswith("wire: "))
+        assert re.search(r"reconnects=[1-9]", wire_line)
+        assert re.search(r"replays=[1-9]", wire_line)
+        digests = [line for line in output.splitlines() if line.startswith("state digest ")]
+        assert digests == serial_digests
+        join_line = next(line for line in join.stdout.splitlines() if line.startswith("join: "))
+        assert re.search(r"drops_simulated=1", join_line)
+        assert re.search(r"reconnects=[1-9]", join_line)
+
+    def test_join_against_a_dead_port_exits_nonzero(self, cli_env):
+        env, cache_dir = cli_env
+        result = subprocess.run(
+            _cli(
+                "join",
+                "--preset",
+                "smoke",
+                "--port",
+                "1",  # nothing listens on port 1
+                "--reconnect-delay",
+                "0.01",
+                "--max-reconnects",
+                "2",
+                "--cache-dir",
+                cache_dir,
+            ),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=SERVE_TIMEOUT,
+        )
+        assert result.returncode == 1
+        assert "session lost" in result.stderr

@@ -1,0 +1,245 @@
+"""Fuzz/property tests for the wire frame codec and message vocabulary.
+
+The frame layer is the trust boundary of the federation runtime: every
+byte that arrives from a socket passes through :class:`FrameReader`
+before anything is unpickled. The properties under test:
+
+* encode/decode round-trips bit for bit, regardless of how the byte
+  stream is chunked (byte-at-a-time == one-shot),
+* corruption anywhere in a frame (every single byte position) raises a
+  typed :class:`FrameError` or delivers nothing — it never produces a
+  wrong payload and never hangs a reader,
+* truncation at every possible split point either waits for more bytes
+  or raises ``truncated`` from ``finish()`` — no partial frames leak,
+* an oversized length prefix fails immediately, before any payload
+  arrives (no unbounded buffering),
+* a poisoned reader stays poisoned (feeding more bytes re-raises),
+* message encode/decode rejects unknown types and garbage bodies with
+  :class:`MessageDecodeError`, never a bare pickle error.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.fl.net import FrameError, FrameReader, MessageDecodeError, encode_frame
+from repro.fl.net.framing import HEADER_BYTES, MAGIC, MAX_PAYLOAD_BYTES, TRAILER_BYTES
+from repro.fl.net.messages import (
+    Ack,
+    Goodbye,
+    Heartbeat,
+    HeartbeatAck,
+    Hello,
+    MESSAGE_TYPES,
+    TaskEnvelope,
+    UpdateEnvelope,
+    Welcome,
+    decode_message,
+    encode_message,
+)
+
+
+def decode_all(data: bytes, chunk: int = 0):
+    """Decode ``data`` fully; ``chunk`` > 0 feeds that many bytes at a time."""
+    reader = FrameReader()
+    frames = []
+    if chunk <= 0:
+        frames.extend(reader.feed(data))
+    else:
+        for start in range(0, len(data), chunk):
+            frames.extend(reader.feed(data[start : start + chunk]))
+    reader.finish()
+    return frames
+
+
+class TestRoundTrip:
+    def test_single_frame(self):
+        payload = b"hello federation"
+        frames = decode_all(encode_frame(0x10, payload))
+        assert frames == [(0x10, payload)]
+
+    def test_empty_payload(self):
+        assert decode_all(encode_frame(0x20, b"")) == [(0x20, b"")]
+
+    def test_many_frames_back_to_back(self):
+        rng = np.random.default_rng(7)
+        originals = [(int(t), bytes(rng.integers(0, 256, size=int(n), dtype=np.uint8))) for t, n in zip(rng.integers(1, 127, size=20), rng.integers(0, 300, size=20))]
+        stream = b"".join(encode_frame(t, p) for t, p in originals)
+        assert decode_all(stream) == originals
+
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 5, 7, 64])
+    def test_chunking_invariance(self, chunk):
+        rng = np.random.default_rng(chunk)
+        originals = [(3, bytes(rng.integers(0, 256, size=200, dtype=np.uint8))), (9, b""), (77, b"x" * 31)]
+        stream = b"".join(encode_frame(t, p) for t, p in originals)
+        assert decode_all(stream, chunk=chunk) == originals
+
+    def test_large_payload(self):
+        payload = bytes(np.random.default_rng(0).integers(0, 256, size=1 << 18, dtype=np.uint8))
+        assert decode_all(encode_frame(1, payload), chunk=4096) == [(1, payload)]
+
+    def test_encode_rejects_oversized_payload(self):
+        with pytest.raises(FrameError, match="oversized"):
+            encode_frame(1, b"x", max_payload_bytes=0)
+
+    def test_encode_rejects_bad_type(self):
+        with pytest.raises(ValueError):
+            encode_frame(256, b"")
+        with pytest.raises(ValueError):
+            encode_frame(-1, b"")
+
+
+class TestCorruption:
+    def test_flip_every_byte_never_yields_wrong_payload(self):
+        """Exhaustive single-byte corruption sweep over a whole frame.
+
+        Every position must end in a typed FrameError (bad magic, crc
+        mismatch, oversized, or truncated via finish) or, in the rare
+        case a flipped length byte makes the frame *shorter* and the
+        tail still checks out, deliver nothing silently wrong: any frame
+        that IS delivered must fail CRC comparison against the original
+        only if payload bytes differ. In practice the CRC catches all.
+        """
+        payload = b"routability over the wire"
+        frame = bytearray(encode_frame(0x11, payload))
+        for position in range(len(frame)):
+            corrupted = bytearray(frame)
+            corrupted[position] ^= 0xFF
+            reader = FrameReader()
+            try:
+                frames = reader.feed(bytes(corrupted))
+                reader.finish()
+            except FrameError as error:
+                assert error.reason in {"bad magic", "crc mismatch", "oversized", "truncated"}
+                continue
+            # A shorter-length corruption can decode a prefix; it must not
+            # silently deliver the original payload as intact.
+            for _, body in frames:
+                assert body != payload or bytes(corrupted) == bytes(frame)
+
+    def test_crc_mismatch_is_typed(self):
+        frame = bytearray(encode_frame(5, b"abcdef"))
+        frame[-1] ^= 0x01
+        with pytest.raises(FrameError, match="crc mismatch"):
+            decode_all(bytes(frame))
+
+    def test_bad_magic_reports_offset(self):
+        good = encode_frame(5, b"abc")
+        with pytest.raises(FrameError, match="bad magic") as excinfo:
+            decode_all(b"GARBAGE" + good)
+        assert excinfo.value.offset == 0
+
+    def test_garbage_between_frames_is_fatal(self):
+        stream = encode_frame(1, b"one") + b"\x00\x00" + encode_frame(2, b"two")
+        reader = FrameReader()
+        with pytest.raises(FrameError, match="bad magic"):
+            reader.feed(stream)
+
+    def test_interleaved_garbage_after_clean_frame_preserves_it(self):
+        first = encode_frame(1, b"one")
+        reader = FrameReader()
+        frames = reader.feed(first)
+        assert frames == [(1, b"one")]
+        with pytest.raises(FrameError):
+            reader.feed(b"\xff" * 16)
+
+
+class TestTruncation:
+    def test_every_split_point_waits_then_fails_finish(self):
+        frame = encode_frame(0x12, b"partial delivery")
+        for cut in range(len(frame)):
+            reader = FrameReader()
+            assert reader.feed(frame[:cut]) == []
+            if cut == 0:
+                reader.finish()  # an empty buffer is a clean close
+                continue
+            with pytest.raises(FrameError, match="truncated"):
+                reader.finish()
+
+    def test_completed_stream_finishes_cleanly(self):
+        reader = FrameReader()
+        reader.feed(encode_frame(1, b"done"))
+        reader.finish()
+
+    def test_resume_across_split_completes_frame(self):
+        frame = encode_frame(9, b"resume me")
+        for cut in range(1, len(frame)):
+            reader = FrameReader()
+            assert reader.feed(frame[:cut]) == []
+            assert reader.feed(frame[cut:]) == [(9, b"resume me")]
+
+
+class TestOversizedAndPoison:
+    def test_oversized_length_prefix_fails_before_payload(self):
+        """A hostile length must fail from the header alone (no hang)."""
+        header = MAGIC + bytes([1]) + (MAX_PAYLOAD_BYTES + 1).to_bytes(4, "big")
+        reader = FrameReader()
+        with pytest.raises(FrameError, match="oversized"):
+            reader.feed(header)
+
+    def test_max_length_is_accepted_at_header_time(self):
+        header = MAGIC + bytes([1]) + MAX_PAYLOAD_BYTES.to_bytes(4, "big")
+        reader = FrameReader()
+        assert reader.feed(header) == []  # waiting for payload, not rejected
+
+    def test_poisoned_reader_re_raises(self):
+        reader = FrameReader()
+        with pytest.raises(FrameError):
+            reader.feed(b"\x00" * HEADER_BYTES)
+        with pytest.raises(FrameError):
+            reader.feed(encode_frame(1, b"fine"))
+        with pytest.raises(FrameError):
+            reader.finish()
+
+    def test_reader_accounting(self):
+        reader = FrameReader()
+        frame = encode_frame(1, b"abc")
+        reader.feed(frame)
+        assert reader.frames_decoded == 1
+        assert reader.offset == len(frame)
+        assert reader.buffered_bytes == 0
+
+    def test_header_trailer_constants(self):
+        # The frame layout documented in docs/deployment.md.
+        assert HEADER_BYTES == len(MAGIC) + 1 + 4
+        assert TRAILER_BYTES == 4
+        assert len(encode_frame(1, b"xyz")) == HEADER_BYTES + 3 + TRAILER_BYTES
+
+
+class TestMessages:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            Hello(client_ids=(1, 2, 3), cursors={1: 4}, fingerprint={"seed": 0}),
+            Welcome(heartbeat_interval=2.0, client_timeout=10.0, replayed=3),
+            TaskEnvelope(client_id=1, seq=9, op="train", blob=b"blob", is_wire=True, steps=2),
+            UpdateEnvelope(client_id=1, seq=9, stats={"loss": 1.0}),
+            Ack(client_id=2, seq=5),
+            Heartbeat(seq=1),
+            HeartbeatAck(seq=1),
+            Goodbye(reason="done"),
+        ],
+    )
+    def test_round_trip(self, message):
+        frame_type, body = encode_message(message)
+        assert decode_message(frame_type, body) == message
+
+    def test_vocabulary_is_bijective(self):
+        assert len(set(MESSAGE_TYPES.values())) == len(MESSAGE_TYPES)
+
+    def test_unknown_type_is_typed_error(self):
+        with pytest.raises(MessageDecodeError):
+            decode_message(0x5A, pickle.dumps(Ack(client_id=1, seq=1)))
+
+    def test_garbage_body_is_typed_error(self):
+        frame_type, _ = encode_message(Ack(client_id=1, seq=1))
+        with pytest.raises(MessageDecodeError):
+            decode_message(frame_type, b"\x00not a pickle")
+
+    def test_wrong_body_for_type_is_typed_error(self):
+        frame_type, _ = encode_message(Heartbeat(seq=1))
+        with pytest.raises(MessageDecodeError):
+            decode_message(frame_type, pickle.dumps(Ack(client_id=1, seq=1)))

@@ -1,0 +1,115 @@
+"""Tests for the append-only message journal behind reconnect-with-resume.
+
+The journal is the server's source of truth for "what might a client
+have missed": a TASK record is written before any socket send, an ACK
+record once the update is folded. The properties under test:
+
+* record/ack round-trips and the pending map mirror each other,
+* ``pending_after`` is exactly the replay set for a cursor,
+* state survives a close/reopen cycle (server restart),
+* a torn tail (crash mid-append) is detected, dropped, and accounted
+  in ``truncated_bytes`` — everything before it loads clean,
+* ACKs for tasks never journaled are harmless (abandoned-task acks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fl.net import JournalError, MessageJournal
+
+
+class TestJournalBasics:
+    def test_record_and_ack(self, tmp_path):
+        with MessageJournal(tmp_path) as journal:
+            journal.record_task(1, 1, b"task-one")
+            journal.record_task(1, 2, b"task-two")
+            assert journal.pending(1) == {1: b"task-one", 2: b"task-two"}
+            journal.record_ack(1, 1)
+            assert journal.pending(1) == {2: b"task-two"}
+            assert journal.high_seq(1) == 2
+
+    def test_clients_are_independent(self, tmp_path):
+        with MessageJournal(tmp_path) as journal:
+            journal.record_task(1, 1, b"a")
+            journal.record_task(2, 1, b"b")
+            journal.record_ack(1, 1)
+            assert journal.pending(1) == {}
+            assert journal.pending(2) == {1: b"b"}
+
+    def test_pending_after_is_the_replay_set(self, tmp_path):
+        with MessageJournal(tmp_path) as journal:
+            for seq in (1, 2, 3, 4):
+                journal.record_task(7, seq, b"body-%d" % seq)
+            journal.record_ack(7, 2)
+            # Cursor 1: seqs 3 and 4 are pending and newer; 2 was acked.
+            assert journal.pending_after(7, 1) == [(3, b"body-3"), (4, b"body-4")]
+            assert journal.pending_after(7, 4) == []
+            # A zero cursor replays every pending record, in seq order.
+            assert [seq for seq, _ in journal.pending_after(7, 0)] == [1, 3, 4]
+
+    def test_ack_without_task_is_harmless(self, tmp_path):
+        # The server acks abandoned (reaped) tasks so replay never resends
+        # them; the ack may race a task record that was never written.
+        with MessageJournal(tmp_path) as journal:
+            journal.record_ack(3, 9)
+            assert journal.pending(3) == {}
+            assert journal.high_seq(3) == 9
+
+    def test_unknown_client_queries_are_empty(self, tmp_path):
+        with MessageJournal(tmp_path) as journal:
+            assert journal.pending(99) == {}
+            assert journal.pending_after(99, 0) == []
+            assert journal.high_seq(99) == 0
+
+
+class TestJournalPersistence:
+    def test_reload_after_close(self, tmp_path):
+        with MessageJournal(tmp_path) as journal:
+            journal.record_task(1, 1, b"one")
+            journal.record_task(1, 2, b"two")
+            journal.record_ack(1, 1)
+        with MessageJournal(tmp_path) as reloaded:
+            assert reloaded.pending(1) == {2: b"two"}
+            assert reloaded.high_seq(1) == 2
+            assert reloaded.truncated_bytes == 0
+
+    def test_append_after_reload(self, tmp_path):
+        with MessageJournal(tmp_path) as journal:
+            journal.record_task(1, 1, b"one")
+        with MessageJournal(tmp_path) as reloaded:
+            reloaded.record_task(1, 2, b"two")
+            assert reloaded.pending(1) == {1: b"one", 2: b"two"}
+
+    def test_torn_tail_is_dropped_and_counted(self, tmp_path):
+        with MessageJournal(tmp_path) as journal:
+            journal.record_task(1, 1, b"kept")
+            journal.record_task(1, 2, b"lost to the crash")
+        path = tmp_path / "client-1.journal"
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-5])  # crash mid-append of the second record
+        with MessageJournal(tmp_path) as reloaded:
+            assert reloaded.pending(1) == {1: b"kept"}
+            assert reloaded.truncated_bytes > 0
+
+    def test_corrupt_middle_keeps_clean_prefix(self, tmp_path):
+        with MessageJournal(tmp_path) as journal:
+            journal.record_task(1, 1, b"kept")
+        path = tmp_path / "client-1.journal"
+        good = path.read_bytes()
+        path.write_bytes(good + b"\x00garbage tail\xff")
+        with MessageJournal(tmp_path) as reloaded:
+            assert reloaded.pending(1) == {1: b"kept"}
+            assert reloaded.truncated_bytes == len(b"\x00garbage tail\xff")
+
+    def test_foreign_files_are_ignored(self, tmp_path):
+        (tmp_path / "client-notanumber.journal").write_bytes(b"junk")
+        (tmp_path / "unrelated.txt").write_bytes(b"junk")
+        with MessageJournal(tmp_path) as journal:
+            assert journal.pending(1) == {}
+
+    def test_unwritable_directory_is_typed_error(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_bytes(b"not a directory")
+        with pytest.raises(JournalError):
+            MessageJournal(target)

@@ -43,6 +43,68 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["reproduce", "--compression", "gzip"])
 
+    def test_reproduce_state_digest_flag(self):
+        args = build_parser().parse_args(["reproduce", "--state-digest"])
+        assert args.state_digest is True
+        assert build_parser().parse_args(["reproduce"]).state_digest is False
+
+    def test_serve_arguments_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--preset",
+                "smoke",
+                "--port",
+                "0",
+                "--heartbeat-interval",
+                "0.5",
+                "--client-timeout",
+                "4",
+                "--wire-fault-disconnect-rate",
+                "0.1",
+                "--state-digest",
+            ]
+        )
+        assert args.handler is not None
+        assert args.port == 0
+        assert args.heartbeat_interval == 0.5
+        assert args.client_timeout == 4.0
+        assert args.wire_fault_disconnect_rate == 0.1
+        assert args.state_digest is True
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.port == 7733
+        assert defaults.wait_clients == 60.0
+        assert defaults.quorum == 1.0
+
+    def test_join_arguments_parsed(self):
+        args = build_parser().parse_args(
+            ["join", "--port", "7001", "--clients", "1", "2", "--drop-after", "3", "--kill-after", "2"]
+        )
+        assert args.port == 7001
+        assert args.clients == [1, 2]
+        assert args.drop_after == 3
+        assert args.kill_after == 2
+        defaults = build_parser().parse_args(["join"])
+        assert defaults.clients is None
+        assert defaults.drop_after is None and defaults.kill_after is None
+        assert defaults.max_reconnects == 60
+
+    def test_serve_rejects_invalid_wire_options(self, capsys):
+        # Validation happens at config time and must exit with code 2.
+        assert main(["serve", "--heartbeat-interval", "5", "--client-timeout", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_algorithms(self, capsys):
+        assert main(["serve", "--algorithms", "fedsgdmax"]) == 2
+        assert "unknown algorithms" in capsys.readouterr().err
+
+    def test_join_rejects_unknown_client_ids(self, capsys, tmp_path):
+        code = main(
+            ["join", "--preset", "smoke", "--clients", "42", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "unknown client ids" in capsys.readouterr().err
+
 
 class TestListCommands:
     def test_list_models_prints_every_model(self, capsys):
